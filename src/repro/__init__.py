@@ -1,0 +1,17 @@
+"""Reproduction of "VXA: A Virtual Architecture for Durable Compressed Archives".
+
+Public API highlights
+---------------------
+
+* :class:`repro.core.ArchiveWriter` / :class:`repro.core.ArchiveReader` --
+  the vxZIP / vxUnZIP tools.
+* :class:`repro.vm.VirtualMachine` -- the vx32-analogue sandbox that runs
+  archived decoders.
+* :mod:`repro.codecs` -- the codec plug-ins (native encoders + VXA guest
+  decoders) shipped with the prototype.
+* :mod:`repro.vxc` -- the small C-like compiler used to build guest decoders.
+"""
+
+__version__ = "0.1.0"
+
+__all__ = ["__version__"]

@@ -1,0 +1,35 @@
+"""Benchmark harness: workloads, timing helpers, timeline data, reporting."""
+
+from repro.bench.harness import (
+    DecoderWorkload,
+    EngineTiming,
+    decoder_size_rows,
+    measure_workload,
+    standard_workloads,
+    time_callable,
+)
+from repro.bench.reporting import banner, format_kb, format_percent, format_ratio, format_table
+from repro.bench.timelines import (
+    COMPRESSION_FORMATS,
+    PROCESSOR_ARCHITECTURES,
+    events_per_decade,
+    format_churn_summary,
+)
+
+__all__ = [
+    "DecoderWorkload",
+    "EngineTiming",
+    "decoder_size_rows",
+    "measure_workload",
+    "standard_workloads",
+    "time_callable",
+    "banner",
+    "format_kb",
+    "format_percent",
+    "format_ratio",
+    "format_table",
+    "COMPRESSION_FORMATS",
+    "PROCESSOR_ARCHITECTURES",
+    "events_per_decade",
+    "format_churn_summary",
+]

@@ -1,0 +1,44 @@
+"""Plain-text table rendering for the benchmark reports.
+
+The benchmarks print the same rows/series the paper's tables and figures
+report; these helpers keep the formatting consistent and readable in the
+``pytest -s`` / ``tee`` output the harness captures.
+"""
+
+from __future__ import annotations
+
+
+def format_table(headers: list[str], rows: list[list], *, title: str | None = None) -> str:
+    """Render a fixed-width text table."""
+    columns = [[str(header)] + [str(row[index]) for row in rows]
+               for index, header in enumerate(headers)]
+    widths = [max(len(cell) for cell in column) for column in columns]
+    lines = []
+    if title:
+        lines.append(title)
+        lines.append("=" * len(title))
+    header_line = "  ".join(header.ljust(width) for header, width in zip(headers, widths))
+    lines.append(header_line)
+    lines.append("  ".join("-" * width for width in widths))
+    for row in rows:
+        lines.append(
+            "  ".join(str(cell).ljust(width) for cell, width in zip(row, widths))
+        )
+    return "\n".join(lines)
+
+
+def format_kb(num_bytes: int) -> str:
+    return f"{num_bytes / 1024:.1f}KB"
+
+
+def format_ratio(value: float) -> str:
+    return f"{value:.2f}x"
+
+
+def format_percent(value: float) -> str:
+    return f"{value * 100:.1f}%"
+
+
+def banner(text: str) -> str:
+    bar = "#" * (len(text) + 8)
+    return f"\n{bar}\n### {text} ###\n{bar}"

@@ -1,0 +1,134 @@
+"""Command-line interface: the ``vxzip`` / ``vxunzip`` tools.
+
+The paper's prototype is a pair of command-line utilities that extend
+ZIP/UnZIP.  This module provides the equivalent front end over the library:
+
+* ``vxzip create ARCHIVE FILES...`` -- build an archive, auto-selecting codecs
+  and embedding decoders (``--lossy`` permits lossy media codecs),
+* ``vxzip list ARCHIVE`` -- list members with their codecs and decoders,
+* ``vxzip extract ARCHIVE [-o DIR]`` -- extract members, optionally forcing
+  the archived VXA decoders (``--vxa``) or decoding pre-compressed members
+  all the way to their uncompressed form (``--force-decode``),
+* ``vxzip check ARCHIVE`` -- the integrity check that always runs the
+  archived decoders.
+
+Usable as ``python -m repro.cli ...``.
+"""
+
+from __future__ import annotations
+
+import argparse
+import pathlib
+import sys
+
+from repro.core.archive_reader import ArchiveReader, MODE_AUTO, MODE_VXA
+from repro.core.archive_writer import ArchiveWriter
+from repro.core.integrity import format_report
+from repro.errors import VxaError
+
+
+def _cmd_create(args) -> int:
+    writer = ArchiveWriter(allow_lossy=args.lossy)
+    root = pathlib.Path(args.root) if args.root else None
+    for file_name in args.files:
+        path = pathlib.Path(file_name)
+        data = path.read_bytes()
+        member = str(path.relative_to(root)) if root else path.name
+        info = writer.add_file(member, data, store_raw=args.store)
+        print(f"  adding {member}  ({info.original_size} -> {info.stored_size} bytes, "
+              f"codec={info.codec or 'none'})")
+    archive = writer.finish()
+    pathlib.Path(args.archive).write_bytes(archive)
+    manifest = writer.manifest
+    print(f"wrote {args.archive}: {len(archive)} bytes, "
+          f"{len(manifest.files)} member(s), {len(manifest.decoders)} embedded decoder(s), "
+          f"decoder overhead {manifest.decoder_overhead_fraction * 100:.1f}%")
+    return 0
+
+
+def _cmd_list(args) -> int:
+    reader = ArchiveReader(pathlib.Path(args.archive).read_bytes())
+    print(f"{'member':40s} {'stored':>10s} {'original':>10s} {'codec':>8s}  decoder")
+    for entry in reader.entries():
+        extension = reader.extension_for(entry.name)
+        codec = extension.codec_name if extension else "-"
+        decoder = (f"pseudo-file @0x{extension.decoder_offset:x}"
+                   if extension else "(none)")
+        flags = " [pre-compressed]" if extension and extension.precompressed else ""
+        print(f"{entry.name:40s} {entry.compressed_size:10d} {entry.uncompressed_size:10d} "
+              f"{codec:>8s}  {decoder}{flags}")
+    return 0
+
+
+def _cmd_extract(args) -> int:
+    reader = ArchiveReader(pathlib.Path(args.archive).read_bytes())
+    output_dir = pathlib.Path(args.output)
+    mode = MODE_VXA if args.vxa else MODE_AUTO
+    names = args.members or reader.names()
+    for name in names:
+        result = reader.extract(name, mode=mode, force_decode=args.force_decode)
+        target = output_dir / name
+        target.parent.mkdir(parents=True, exist_ok=True)
+        target.write_bytes(result.data)
+        how = "archived VXA decoder" if result.used_vxa_decoder else (
+            "native decoder" if result.decoded else "stored form (still compressed)")
+        print(f"  {name}: {len(result.data)} bytes via {how}")
+    return 0
+
+
+def _cmd_check(args) -> int:
+    reader = ArchiveReader(pathlib.Path(args.archive).read_bytes())
+    report = reader.check_archive()
+    print(format_report(report))
+    return 0 if report.ok else 1
+
+
+def build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="vxzip",
+        description="VXA-enhanced ZIP archiver (vxZIP/vxUnZIP reproduction)",
+    )
+    commands = parser.add_subparsers(dest="command", required=True)
+
+    create = commands.add_parser("create", help="create an archive from files")
+    create.add_argument("archive")
+    create.add_argument("files", nargs="+")
+    create.add_argument("--lossy", action="store_true",
+                        help="permit lossy codecs for media files")
+    create.add_argument("--store", action="store_true",
+                        help="store files raw with no compression or decoder")
+    create.add_argument("--root", help="directory member names are relative to")
+    create.set_defaults(handler=_cmd_create)
+
+    listing = commands.add_parser("list", help="list archive members and decoders")
+    listing.add_argument("archive")
+    listing.set_defaults(handler=_cmd_list)
+
+    extract = commands.add_parser("extract", help="extract members")
+    extract.add_argument("archive")
+    extract.add_argument("members", nargs="*", help="members to extract (default: all)")
+    extract.add_argument("-o", "--output", default=".", help="output directory")
+    extract.add_argument("--vxa", action="store_true",
+                         help="always use the archived VXA decoders")
+    extract.add_argument("--force-decode", action="store_true",
+                         help="decode pre-compressed members to their uncompressed form")
+    extract.set_defaults(handler=_cmd_extract)
+
+    check = commands.add_parser("check", help="verify the archive with its own decoders")
+    check.add_argument("archive")
+    check.set_defaults(handler=_cmd_check)
+    return parser
+
+
+def main(argv: list[str] | None = None) -> int:
+    parser = build_parser()
+    args = parser.parse_args(argv)
+    try:
+        return args.handler(args)
+    except (VxaError, OSError) as error:
+        print(f"vxzip: error: {error}", file=sys.stderr)
+        return 2
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

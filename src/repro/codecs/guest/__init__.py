@@ -1,0 +1,103 @@
+"""Assembly of guest decoder source units for each codec.
+
+Each function returns the list of :class:`~repro.vxc.compiler.SourceUnit`
+objects that, compiled together with the vxc runtime, form that codec's
+archived VXA decoder.  Shared units are tagged ``library`` and the
+codec-specific unit ``decoder`` so Table 2's code-size split is preserved.
+"""
+
+from __future__ import annotations
+
+from repro.codecs.guest.audio import vxflac_source, vxsnd_source
+from repro.codecs.guest.general import vxbwt_source, vxz_source
+from repro.codecs.guest.image import vximg_source, vxjp2_source
+from repro.codecs.guest.lib import (
+    LIB_BITS,
+    LIB_BMP,
+    LIB_HBYTES,
+    LIB_HUFF,
+    LIB_IO,
+    LIB_WAV,
+)
+from repro.vxc.compiler import CATEGORY_DECODER, CATEGORY_LIBRARY, SourceUnit
+
+
+def _library(name: str, text: str) -> SourceUnit:
+    return SourceUnit(name, text, CATEGORY_LIBRARY)
+
+
+def _decoder(name: str, text: str) -> SourceUnit:
+    return SourceUnit(name, text, CATEGORY_DECODER)
+
+
+def vxz_guest_units() -> list[SourceUnit]:
+    """Guest decoder for the deflate-class codec."""
+    return [
+        _library("lib_io", LIB_IO),
+        _library("lib_bits", LIB_BITS),
+        _library("lib_huff", LIB_HUFF),
+        _decoder("vxz", vxz_source()),
+    ]
+
+
+def vxbwt_guest_units() -> list[SourceUnit]:
+    """Guest decoder for the bzip2-class codec."""
+    return [
+        _library("lib_io", LIB_IO),
+        _library("lib_bits", LIB_BITS),
+        _library("lib_huff", LIB_HUFF),
+        _decoder("vxbwt", vxbwt_source()),
+    ]
+
+
+def vximg_guest_units() -> list[SourceUnit]:
+    """Guest decoder for the JPEG-class codec (outputs BMP)."""
+    return [
+        _library("lib_io", LIB_IO),
+        _library("lib_bits", LIB_BITS),
+        _library("lib_huff", LIB_HUFF),
+        _library("lib_hbytes", LIB_HBYTES),
+        _library("lib_bmp", LIB_BMP),
+        _decoder("vximg", vximg_source()),
+    ]
+
+
+def vxjp2_guest_units() -> list[SourceUnit]:
+    """Guest decoder for the JPEG-2000-class codec (outputs BMP)."""
+    return [
+        _library("lib_io", LIB_IO),
+        _library("lib_bits", LIB_BITS),
+        _library("lib_huff", LIB_HUFF),
+        _library("lib_hbytes", LIB_HBYTES),
+        _library("lib_bmp", LIB_BMP),
+        _decoder("vxjp2", vxjp2_source()),
+    ]
+
+
+def vxflac_guest_units() -> list[SourceUnit]:
+    """Guest decoder for the FLAC-class codec (outputs WAV)."""
+    return [
+        _library("lib_io", LIB_IO),
+        _library("lib_bits", LIB_BITS),
+        _library("lib_wav", LIB_WAV),
+        _decoder("vxflac", vxflac_source()),
+    ]
+
+
+def vxsnd_guest_units() -> list[SourceUnit]:
+    """Guest decoder for the ADPCM codec (outputs WAV)."""
+    return [
+        _library("lib_io", LIB_IO),
+        _library("lib_wav", LIB_WAV),
+        _decoder("vxsnd", vxsnd_source()),
+    ]
+
+
+__all__ = [
+    "vxz_guest_units",
+    "vxbwt_guest_units",
+    "vximg_guest_units",
+    "vxjp2_guest_units",
+    "vxflac_guest_units",
+    "vxsnd_guest_units",
+]

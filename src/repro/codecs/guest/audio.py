@@ -1,0 +1,249 @@
+"""Guest decoder sources for the audio codecs (vxflac, vxsnd).
+
+The IMA ADPCM step tables are interpolated from the same Python constants the
+native codec uses (:mod:`repro.codecs.vxsnd`), keeping both decoders
+bit-identical.
+"""
+
+
+def _int_array(name: str, values) -> str:
+    body = ", ".join(str(int(value)) for value in values)
+    return f"int {name}[{len(values)}] = {{ {body} }};"
+
+
+_MAIN_LOOP = r"""
+int main() {
+    while (1) {
+        decode_stream();
+        if (done() != 0) { break; }
+        heap_reset();
+    }
+    return 0;
+}
+"""
+
+
+def vxflac_source() -> str:
+    """vxc source of the vxflac (FLAC-class) guest decoder."""
+    return (
+        r"""
+// Per-channel predictor history (up to 8 channels x 4 taps, most recent first).
+int fl_history[32];
+
+// Rice-decode one signed residual with parameter k.
+int fl_rice(int k) {
+    int quotient;
+    int value;
+    quotient = 0;
+    while (br_bit()) {
+        quotient = quotient + 1;
+        if (quotient > 1048576) { exit(80); }    // runaway unary code
+    }
+    value = (quotient << k) | br_bits(k);
+    return (value >> 1) ^ (0 - (value & 1));     // zig-zag decode
+}
+
+// Fixed predictor of the given order using the channel's history.
+int fl_predict(int channel, int order) {
+    int base;
+    int p1;
+    int p2;
+    int p3;
+    int p4;
+    base = channel * 4;
+    p1 = fl_history[base];
+    p2 = fl_history[base + 1];
+    p3 = fl_history[base + 2];
+    p4 = fl_history[base + 3];
+    if (order == 0) { return 0; }
+    if (order == 1) { return p1; }
+    if (order == 2) { return 2 * p1 - p2; }
+    if (order == 3) { return 3 * p1 - 3 * p2 + p3; }
+    return 4 * p1 - 6 * p2 + 4 * p3 - p4;
+}
+
+int fl_push_history(int channel, int value) {
+    int base;
+    base = channel * 4;
+    fl_history[base + 3] = fl_history[base + 2];
+    fl_history[base + 2] = fl_history[base + 1];
+    fl_history[base + 1] = fl_history[base];
+    fl_history[base] = value;
+    return 0;
+}
+
+int decode_stream() {
+    int src;
+    int src_len;
+    int sample_rate;
+    int channels;
+    int num_frames;
+    int block_size;
+    int position;
+    int frames;
+    int channel;
+    int order;
+    int parameter;
+    int frame;
+    int value;
+    int block_samples;
+    int i;
+
+    src = in_read_all();
+    src_len = in_len;
+    if (src_len < 16) { exit(81); }
+    if (load_u32le(src) != 0x31465856) { exit(82); }        // "VXF1"
+    sample_rate = load_u32le(src + 4);
+    channels = peek8(src + 8);
+    if (peek8(src + 9) != 16) { exit(83); }
+    num_frames = load_u32le(src + 10);
+    block_size = load_u16le(src + 14);
+    if (channels < 1) { exit(83); }
+    if (channels > 8) { exit(83); }
+    if (block_size < 1) { exit(83); }
+
+    for (i = 0; i < 32; i = i + 1) { fl_history[i] = 0; }
+
+    br_init(src + 16, src_len - 16);
+    out_init();
+    wav_begin(sample_rate, channels, num_frames);
+
+    // Interleaved 16-bit output for one block at a time.
+    block_samples = alloc(block_size * channels * 2);
+
+    position = 0;
+    while (position < num_frames) {
+        frames = num_frames - position;
+        if (frames > block_size) { frames = block_size; }
+        for (channel = 0; channel < channels; channel = channel + 1) {
+            br_align();
+            order = br_bits(8);
+            parameter = br_bits(8);
+            if (order > 4) { exit(84); }
+            for (frame = 0; frame < frames; frame = frame + 1) {
+                value = fl_rice(parameter) + fl_predict(channel, order);
+                fl_push_history(channel, value);
+                if (value > 32767) { value = 32767; }
+                if (value < 0 - 32768) { value = 0 - 32768; }
+                store_u16le(block_samples + (frame * channels + channel) * 2, value & 65535);
+            }
+        }
+        br_align();
+        out_bytes(block_samples, frames * channels * 2);
+        position = position + frames;
+    }
+    out_flush();
+    return 0;
+}
+"""
+        + _MAIN_LOOP
+    )
+
+
+def vxsnd_source() -> str:
+    """vxc source of the vxsnd (ADPCM, Vorbis-class role) guest decoder."""
+    from repro.codecs.vxsnd import INDEX_TABLE, STEP_TABLE
+
+    tables = "\n".join(
+        [
+            _int_array("ad_steps", STEP_TABLE),
+            _int_array("ad_index_adjust", INDEX_TABLE),
+        ]
+    )
+    return (
+        tables
+        + r"""
+
+int ad_predictor;
+int ad_index;
+
+// Decode one 4-bit IMA ADPCM code, updating the predictor state.
+int ad_decode(int code) {
+    int step;
+    int difference;
+    step = ad_steps[ad_index];
+    difference = step >> 3;
+    if (code & 4) { difference = difference + step; }
+    if (code & 2) { difference = difference + (step >> 1); }
+    if (code & 1) { difference = difference + (step >> 2); }
+    if (code & 8) {
+        ad_predictor = ad_predictor - difference;
+    } else {
+        ad_predictor = ad_predictor + difference;
+    }
+    if (ad_predictor > 32767) { ad_predictor = 32767; }
+    if (ad_predictor < 0 - 32768) { ad_predictor = 0 - 32768; }
+    ad_index = ad_index + ad_index_adjust[code];
+    if (ad_index < 0) { ad_index = 0; }
+    if (ad_index > 88) { ad_index = 88; }
+    return ad_predictor;
+}
+
+int decode_stream() {
+    int src;
+    int src_len;
+    int sample_rate;
+    int channels;
+    int num_frames;
+    int block_size;
+    int offset;
+    int position;
+    int frames;
+    int channel;
+    int frame;
+    int value;
+    int byte_value;
+    int code;
+    int nibble_bytes;
+    int block_samples;
+
+    src = in_read_all();
+    src_len = in_len;
+    if (src_len < 15) { exit(90); }
+    if (load_u32le(src) != 0x31535856) { exit(91); }        // "VXS1"
+    sample_rate = load_u32le(src + 4);
+    channels = peek8(src + 8);
+    num_frames = load_u32le(src + 9);
+    block_size = load_u16le(src + 13);
+    if (channels < 1) { exit(92); }
+    if (channels > 8) { exit(92); }
+    if (block_size < 1) { exit(92); }
+
+    offset = 15;
+    out_init();
+    wav_begin(sample_rate, channels, num_frames);
+    block_samples = alloc(block_size * channels * 2);
+
+    position = 0;
+    while (position < num_frames) {
+        frames = num_frames - position;
+        if (frames > block_size) { frames = block_size; }
+        for (channel = 0; channel < channels; channel = channel + 1) {
+            if (offset + 4 > src_len) { exit(93); }
+            ad_predictor = peek16s(src + offset);
+            ad_index = peek8(src + offset + 2);
+            if (ad_index > 88) { exit(94); }
+            offset = offset + 4;
+            nibble_bytes = (frames + 1) / 2;
+            if (offset + nibble_bytes > src_len) { exit(93); }
+            for (frame = 0; frame < frames; frame = frame + 1) {
+                byte_value = peek8(src + offset + frame / 2);
+                if (frame % 2) {
+                    code = (byte_value >> 4) & 15;
+                } else {
+                    code = byte_value & 15;
+                }
+                value = ad_decode(code);
+                store_u16le(block_samples + (frame * channels + channel) * 2, value & 65535);
+            }
+            offset = offset + nibble_bytes;
+        }
+        position = position + frames;
+        out_bytes(block_samples, frames * channels * 2);
+    }
+    out_flush();
+    return 0;
+}
+"""
+        + _MAIN_LOOP
+    )

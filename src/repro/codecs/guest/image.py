@@ -1,0 +1,424 @@
+"""Guest decoder sources for the still-image codecs (vximg, vxjp2).
+
+The fixed-point IDCT basis and the zig-zag scan order are interpolated from
+the same Python constants the native codec uses (:mod:`repro.codecs.dct`), so
+the archived decoder and the native decoder produce bit-identical BMP output.
+"""
+
+from repro.codecs.dct import FIX_BITS, IDCT_FIXED, ZIGZAG
+
+
+def _int_array(name: str, values) -> str:
+    body = ", ".join(str(int(value)) for value in values)
+    return f"int {name}[{len(values)}] = {{ {body} }};"
+
+
+_MAIN_LOOP = r"""
+int main() {
+    while (1) {
+        decode_stream();
+        if (done() != 0) { break; }
+        heap_reset();
+    }
+    return 0;
+}
+"""
+
+# Shared colour/pixel helpers used by both image decoders.
+_PIXEL_HELPERS = r"""
+int clamp255(int value) {
+    if (value < 0) { return 0; }
+    if (value > 255) { return 255; }
+    return value;
+}
+"""
+
+
+def vximg_source() -> str:
+    """vxc source of the vximg (JPEG-class) guest decoder."""
+    tables = "\n".join(
+        [
+            _int_array("vi_idct", IDCT_FIXED.reshape(64)),
+            _int_array("vi_zigzag", ZIGZAG),
+        ]
+    )
+    round_half = 1 << (FIX_BITS - 1)
+    return (
+        tables
+        + _PIXEL_HELPERS
+        + r"""
+
+int vi_quant[64];      // quantisation steps, zig-zag order (as stored in the header)
+int vi_zig[64];        // decoded coefficients, zig-zag order
+int vi_blk[64];        // dequantised coefficients / pixels, row-major
+int vi_tmp[64];
+
+// Fixed-point inverse DCT of vi_blk in place (row-major 8x8).
+int vi_idct_block() {
+    int x;
+    int y;
+    int u;
+    int acc;
+    for (x = 0; x < 8; x = x + 1) {
+        for (y = 0; y < 8; y = y + 1) {
+            acc = 0;
+            for (u = 0; u < 8; u = u + 1) {
+                acc = acc + vi_idct[u * 8 + x] * vi_blk[u * 8 + y];
+            }
+            vi_tmp[x * 8 + y] = asr(acc + """
+        + str(round_half)
+        + r""", """
+        + str(FIX_BITS)
+        + r""");
+        }
+    }
+    for (x = 0; x < 8; x = x + 1) {
+        for (y = 0; y < 8; y = y + 1) {
+            acc = 0;
+            for (u = 0; u < 8; u = u + 1) {
+                acc = acc + vi_tmp[x * 8 + u] * vi_idct[u * 8 + y];
+            }
+            vi_blk[x * 8 + y] = clamp255(asr(acc + """
+        + str(round_half)
+        + r""", """
+        + str(FIX_BITS)
+        + r""") + 128);
+        }
+    }
+    return 0;
+}
+
+int decode_stream() {
+    int src;
+    int src_len;
+    int width;
+    int height;
+    int channels;
+    int padded_width;
+    int padded_height;
+    int plane_size;
+    int planes;
+    int tokens;
+    int channel;
+    int block_row;
+    int block_col;
+    int previous_dc;
+    int delta;
+    int run;
+    int position;
+    int i;
+    int row;
+    int col;
+    int stride_pad;
+    int y_value;
+    int cb_value;
+    int cr_value;
+    int red;
+    int green;
+    int blue;
+    int index;
+
+    src = in_read_all();
+    src_len = in_len;
+    if (src_len < 74) { exit(60); }
+    if (load_u32le(src) != 0x31495856) { exit(61); }       // "VXI1"
+    width = load_u16le(src + 4);
+    height = load_u16le(src + 6);
+    channels = peek8(src + 9);
+    if (width == 0) { exit(62); }
+    if (height == 0) { exit(62); }
+    if (channels != 1) { if (channels != 3) { exit(62); } }
+    for (i = 0; i < 64; i = i + 1) { vi_quant[i] = peek8(src + 10 + i); }
+
+    tokens = hb_unpack(src + 74, src + src_len);
+    tk_init(tokens, hb_len);
+
+    padded_width = (width + 7) & 0xfffffff8;
+    padded_height = (height + 7) & 0xfffffff8;
+    plane_size = padded_width * padded_height;
+    planes = alloc(plane_size * 3);
+    memfill(planes, 128, plane_size * 3);
+
+    for (channel = 0; channel < channels; channel = channel + 1) {
+        previous_dc = 0;
+        for (block_row = 0; block_row < padded_height; block_row = block_row + 8) {
+            for (block_col = 0; block_col < padded_width; block_col = block_col + 8) {
+                // DC delta, then (run, value) AC pairs in zig-zag order.
+                delta = zz_decode(tk_varint());
+                previous_dc = previous_dc + delta;
+                for (i = 0; i < 64; i = i + 1) { vi_zig[i] = 0; }
+                vi_zig[0] = previous_dc;
+                position = 1;
+                while (1) {
+                    run = tk_byte();
+                    if (run == 255) { break; }
+                    position = position + run;
+                    if (position >= 64) { exit(63); }
+                    vi_zig[position] = zz_decode(tk_varint());
+                    position = position + 1;
+                }
+                // De-zig-zag and dequantise into the row-major block.
+                for (i = 0; i < 64; i = i + 1) {
+                    vi_blk[vi_zigzag[i]] = vi_zig[i] * vi_quant[i];
+                }
+                vi_idct_block();
+                for (row = 0; row < 8; row = row + 1) {
+                    for (col = 0; col < 8; col = col + 1) {
+                        index = (block_row + row) * padded_width + block_col + col;
+                        poke8(planes + channel * plane_size + index, vi_blk[row * 8 + col]);
+                    }
+                }
+            }
+        }
+    }
+
+    // Emit the BMP: bottom-up rows, BGR, rows padded to 4 bytes.
+    out_init();
+    bmp_begin(width, height);
+    stride_pad = bmp_stride(width) - width * 3;
+    row = height - 1;
+    while (row >= 0) {
+        for (col = 0; col < width; col = col + 1) {
+            index = row * padded_width + col;
+            y_value = peek8(planes + index);
+            if (channels == 1) {
+                red = y_value;
+                green = y_value;
+                blue = y_value;
+            } else {
+                cb_value = peek8(planes + plane_size + index) - 128;
+                cr_value = peek8(planes + plane_size * 2 + index) - 128;
+                red = clamp255(y_value + asr(359 * cr_value, 8));
+                green = clamp255(y_value - asr(88 * cb_value + 183 * cr_value, 8));
+                blue = clamp255(y_value + asr(454 * cb_value, 8));
+            }
+            out_byte(blue);
+            out_byte(green);
+            out_byte(red);
+        }
+        for (i = 0; i < stride_pad; i = i + 1) { out_byte(0); }
+        row = row - 1;
+    }
+    out_flush();
+    return 0;
+}
+"""
+        + _MAIN_LOOP
+    )
+
+
+def vxjp2_source() -> str:
+    """vxc source of the vxjp2 (JPEG-2000-class) guest decoder."""
+    return (
+        _PIXEL_HELPERS
+        + r"""
+
+int wj_padded_width;
+int wj_padded_height;
+int wj_tmp;            // scratch buffer for one lifting line (ints)
+
+// Quantisation step for a subband; must match repro.codecs.vxjp2.subband_step.
+// kind: 0 = HL, 1 = LH, 2 = HH, 3 = LL.
+int wj_step(int level, int kind, int quality) {
+    int base;
+    int shift;
+    int step;
+    if (quality >= 100) { return 1; }
+    if (kind == 3) { return 1; }
+    base = (100 - quality) / 8;
+    if (base < 1) { base = 1; }
+    shift = 3 - level;
+    if (shift < 0) { shift = 0; }
+    step = (base * (1 << shift)) / 4;
+    if (kind == 2) { step = step * 2; }
+    if (step < 1) { step = 1; }
+    return step;
+}
+
+// Fill one subband rectangle of the coefficient plane from the token stream.
+int wj_decode_band(int plane, int row0, int col0, int band_height, int band_width, int step) {
+    int total;
+    int position;
+    int run;
+    int value;
+    int band_row;
+    int band_col;
+    int address;
+    total = band_height * band_width;
+    position = 0;
+    while (1) {
+        run = tk_byte();
+        if (run == 255) { break; }
+        position = position + run;
+        if (position >= total) { exit(70); }
+        value = zz_decode(tk_varint());
+        band_row = row0 + udiv(position, band_width);
+        band_col = col0 + umod(position, band_width);
+        address = plane + (band_row * wj_padded_width + band_col) * 4;
+        poke32(address, value * step);
+        position = position + 1;
+    }
+    return 0;
+}
+
+// Inverse 5/3 lifting along `count` elements with `stride` words between them.
+int wj_inverse_1d(int base, int count, int stride) {
+    int half;
+    int i;
+    int smooth;
+    int detail;
+    int detail_prev;
+    int even_value;
+    int even_next;
+    int byte_stride;
+    half = count / 2;
+    byte_stride = stride * 4;
+    // Undo the update step: even[i] = s[i] - ((d[i-1] + d[i] + 2) >> 2)
+    for (i = 0; i < half; i = i + 1) {
+        smooth = peek32(base + i * byte_stride);
+        detail = peek32(base + (half + i) * byte_stride);
+        if (i == 0) {
+            detail_prev = detail;
+        } else {
+            detail_prev = peek32(base + (half + i - 1) * byte_stride);
+        }
+        poke32(wj_tmp + i * 4, smooth - asr(detail_prev + detail + 2, 2));
+    }
+    // Undo the predict step: odd[i] = d[i] + ((even[i] + even[i+1]) >> 1)
+    for (i = 0; i < half; i = i + 1) {
+        detail = peek32(base + (half + i) * byte_stride);
+        even_value = peek32(wj_tmp + i * 4);
+        if (i + 1 < half) {
+            even_next = peek32(wj_tmp + (i + 1) * 4);
+        } else {
+            even_next = even_value;
+        }
+        poke32(wj_tmp + (half + i) * 4, detail + asr(even_value + even_next, 1));
+    }
+    // Interleave back: x[2i] = even[i], x[2i+1] = odd[i].
+    for (i = 0; i < half; i = i + 1) {
+        poke32(base + (2 * i) * byte_stride, peek32(wj_tmp + i * 4));
+        poke32(base + (2 * i + 1) * byte_stride, peek32(wj_tmp + (half + i) * 4));
+    }
+    return 0;
+}
+
+int decode_stream() {
+    int src;
+    int src_len;
+    int width;
+    int height;
+    int levels;
+    int quality;
+    int factor;
+    int tokens;
+    int plane_words;
+    int planes;
+    int plane;
+    int channel;
+    int level;
+    int current_height;
+    int current_width;
+    int low_height;
+    int low_width;
+    int sub_height;
+    int sub_width;
+    int row;
+    int col;
+    int i;
+    int stride_pad;
+    int y_value;
+    int u_value;
+    int v_value;
+    int red;
+    int green;
+    int blue;
+    int index;
+
+    src = in_read_all();
+    src_len = in_len;
+    if (src_len < 11) { exit(71); }
+    if (load_u32le(src) != 0x324a5856) { exit(72); }        // "VXJ2"
+    width = load_u16le(src + 4);
+    height = load_u16le(src + 6);
+    levels = peek8(src + 8);
+    quality = peek8(src + 9);
+    if (peek8(src + 10) != 3) { exit(73); }
+    if (levels < 1) { exit(73); }
+    if (levels > 6) { exit(73); }
+    if (width == 0) { exit(73); }
+    if (height == 0) { exit(73); }
+
+    tokens = hb_unpack(src + 11, src + src_len);
+    tk_init(tokens, hb_len);
+
+    factor = 1 << levels;
+    wj_padded_width = udiv(width + factor - 1, factor) * factor;
+    wj_padded_height = udiv(height + factor - 1, factor) * factor;
+    plane_words = wj_padded_width * wj_padded_height;
+    planes = alloc(plane_words * 4 * 3);
+    memfill(planes, 0, plane_words * 4 * 3);
+    wj_tmp = alloc(max(wj_padded_width, wj_padded_height) * 4 + 16);
+
+    for (channel = 0; channel < 3; channel = channel + 1) {
+        plane = planes + channel * plane_words * 4;
+        // Subbands arrive finest-level first (HL, LH, HH per level) then LL.
+        current_height = wj_padded_height;
+        current_width = wj_padded_width;
+        for (level = 1; level <= levels; level = level + 1) {
+            low_height = current_height / 2;
+            low_width = current_width / 2;
+            wj_decode_band(plane, 0, low_width, low_height, low_width,
+                           wj_step(level, 0, quality));
+            wj_decode_band(plane, low_height, 0, low_height, low_width,
+                           wj_step(level, 1, quality));
+            wj_decode_band(plane, low_height, low_width, low_height, low_width,
+                           wj_step(level, 2, quality));
+            current_height = low_height;
+            current_width = low_width;
+        }
+        wj_decode_band(plane, 0, 0, current_height, current_width, 1);
+
+        // Multi-level inverse transform: columns then rows at each scale.
+        level = levels - 1;
+        while (level >= 0) {
+            sub_height = wj_padded_height >> level;
+            sub_width = wj_padded_width >> level;
+            for (col = 0; col < sub_width; col = col + 1) {
+                wj_inverse_1d(plane + col * 4, sub_height, wj_padded_width);
+            }
+            for (row = 0; row < sub_height; row = row + 1) {
+                wj_inverse_1d(plane + row * wj_padded_width * 4, sub_width, 1);
+            }
+            level = level - 1;
+        }
+    }
+
+    // Inverse reversible colour transform and BMP output (cropping the padding).
+    out_init();
+    bmp_begin(width, height);
+    stride_pad = bmp_stride(width) - width * 3;
+    row = height - 1;
+    while (row >= 0) {
+        for (col = 0; col < width; col = col + 1) {
+            index = (row * wj_padded_width + col) * 4;
+            y_value = peek32(planes + index);
+            u_value = peek32(planes + plane_words * 4 + index);
+            v_value = peek32(planes + plane_words * 8 + index);
+            green = y_value - asr(u_value + v_value, 2);
+            red = clamp255(v_value + green);
+            blue = clamp255(u_value + green);
+            green = clamp255(green);
+            out_byte(blue);
+            out_byte(green);
+            out_byte(red);
+        }
+        for (i = 0; i < stride_pad; i = i + 1) { out_byte(0); }
+        row = row - 1;
+    }
+    out_flush();
+    return 0;
+}
+"""
+        + _MAIN_LOOP
+    )

@@ -1,0 +1,359 @@
+"""Shared vxc library units linked into the guest decoders.
+
+These play the role of the statically-linked support libraries in the
+paper's decoders (the "C library" column of Table 2): stream input/output
+over the virtual system calls, a bit reader, a canonical Huffman decoder and
+writers for the BMP/WAV output containers.  They are tagged as *library*
+source units so the compiler's provenance note splits decoder vs. library
+code size exactly the way Table 2 does.
+"""
+
+# --------------------------------------------------------------------------
+# Buffered stream input / output over the read/write virtual system calls.
+# --------------------------------------------------------------------------
+
+LIB_IO = r"""
+// Whole-stream input: reads stdin to a growable heap buffer.
+int in_buf;
+int in_len;
+int in_cap;
+
+int in_read_all() {
+    int got;
+    in_cap = 65536;
+    in_buf = alloc(in_cap);
+    in_len = 0;
+    while (1) {
+        if (in_len == in_cap) {
+            int new_cap;
+            int new_buf;
+            new_cap = in_cap * 2;
+            new_buf = alloc(new_cap);
+            memcopy(new_buf, in_buf, in_len);
+            in_buf = new_buf;
+            in_cap = new_cap;
+        }
+        got = read(0, in_buf + in_len, in_cap - in_len);
+        if (got <= 0) { break; }
+        in_len = in_len + got;
+    }
+    return in_buf;
+}
+
+// Buffered output to stdout.
+int out_buf;
+int out_pos;
+int out_cap;
+
+int out_init() {
+    out_cap = 65536;
+    out_buf = alloc(out_cap);
+    out_pos = 0;
+    return 0;
+}
+
+int out_flush() {
+    if (out_pos > 0) {
+        write_full(1, out_buf, out_pos);
+        out_pos = 0;
+    }
+    return 0;
+}
+
+int out_byte(int value) {
+    if (out_pos == out_cap) { out_flush(); }
+    poke8(out_buf + out_pos, value);
+    out_pos = out_pos + 1;
+    return 0;
+}
+
+int out_bytes(int addr, int count) {
+    if (count >= out_cap) {
+        out_flush();
+        write_full(1, addr, count);
+        return count;
+    }
+    if (out_pos + count > out_cap) { out_flush(); }
+    memcopy(out_buf + out_pos, addr, count);
+    out_pos = out_pos + count;
+    return count;
+}
+
+int out_u16le(int value) {
+    out_byte(value & 255);
+    out_byte((value >> 8) & 255);
+    return 2;
+}
+
+int out_u32le(int value) {
+    out_byte(value & 255);
+    out_byte((value >> 8) & 255);
+    out_byte((value >> 16) & 255);
+    out_byte((value >> 24) & 255);
+    return 4;
+}
+"""
+
+# --------------------------------------------------------------------------
+# LSB-first bit reader over an in-memory buffer.
+# --------------------------------------------------------------------------
+
+LIB_BITS = r"""
+int br_addr;
+int br_end;
+int br_bitpos;
+
+int br_init(int addr, int length) {
+    br_addr = addr;
+    br_end = addr + length;
+    br_bitpos = 0;
+    return 0;
+}
+
+int br_bit() {
+    int bit;
+    if (br_addr >= br_end) { exit(33); }   // stream exhausted: corrupt input
+    bit = (peek8(br_addr) >> br_bitpos) & 1;
+    br_bitpos = br_bitpos + 1;
+    if (br_bitpos == 8) {
+        br_bitpos = 0;
+        br_addr = br_addr + 1;
+    }
+    return bit;
+}
+
+int br_bits(int count) {
+    int value;
+    int i;
+    value = 0;
+    for (i = 0; i < count; i = i + 1) {
+        value = value | (br_bit() << i);
+    }
+    return value;
+}
+
+int br_align() {
+    if (br_bitpos != 0) {
+        br_bitpos = 0;
+        br_addr = br_addr + 1;
+    }
+    return 0;
+}
+
+int br_pos() {
+    return br_addr;
+}
+"""
+
+# --------------------------------------------------------------------------
+# Canonical Huffman decoder (count / first-code method), up to two tables.
+# --------------------------------------------------------------------------
+
+LIB_HUFF = r"""
+int hd_counts[32];       // two tables x 16 length counts
+int hd_symbols[640];     // two tables x up to 320 symbols in canonical order
+int hd_maxlen[2];
+
+int hd_build(int table, int lengths_addr, int num_symbols) {
+    int i;
+    int length;
+    int max_length;
+    int counts_base;
+    int symbols_base;
+    int position;
+    counts_base = table * 16;
+    symbols_base = table * 320;
+    for (i = 0; i < 16; i = i + 1) { hd_counts[counts_base + i] = 0; }
+    max_length = 0;
+    for (i = 0; i < num_symbols; i = i + 1) {
+        length = peek8(lengths_addr + i);
+        if (length > 15) { exit(35); }           // corrupt code length table
+        if (length > 0) {
+            hd_counts[counts_base + length] = hd_counts[counts_base + length] + 1;
+            if (length > max_length) { max_length = length; }
+        }
+    }
+    hd_maxlen[table] = max_length;
+    position = 0;
+    for (length = 1; length <= max_length; length = length + 1) {
+        for (i = 0; i < num_symbols; i = i + 1) {
+            if (peek8(lengths_addr + i) == length) {
+                hd_symbols[symbols_base + position] = i;
+                position = position + 1;
+            }
+        }
+    }
+    return 0;
+}
+
+int hd_decode(int table) {
+    int code;
+    int first;
+    int index;
+    int length;
+    int count;
+    int counts_base;
+    int symbols_base;
+    counts_base = table * 16;
+    symbols_base = table * 320;
+    code = 0;
+    first = 0;
+    index = 0;
+    for (length = 1; length <= hd_maxlen[table]; length = length + 1) {
+        code = code | br_bit();
+        count = hd_counts[counts_base + length];
+        if (code - first < count) {
+            return hd_symbols[symbols_base + index + (code - first)];
+        }
+        index = index + count;
+        first = (first + count) << 1;
+        code = code << 1;
+    }
+    exit(34);                                    // invalid Huffman code
+    return 0;
+}
+"""
+
+# --------------------------------------------------------------------------
+# Huffman byte-stream layer (entropy coding used by the image codecs):
+# a 257-symbol alphabet (byte values plus end-of-stream).
+# --------------------------------------------------------------------------
+
+LIB_HBYTES = r"""
+// Decode an entropy-coded byte stream (257 code lengths + bit stream) into a
+// heap buffer.  Returns the buffer address and stores the length in hb_len.
+int hb_len;
+
+int hb_unpack(int addr, int end) {
+    int buffer;
+    int capacity;
+    int length;
+    int symbol;
+    hd_build(0, addr, 257);
+    br_init(addr + 257, end - (addr + 257));
+    capacity = 65536;
+    buffer = alloc(capacity);
+    length = 0;
+    while (1) {
+        symbol = hd_decode(0);
+        if (symbol == 256) { break; }
+        if (length == capacity) {
+            int new_capacity;
+            int new_buffer;
+            new_capacity = capacity * 2;
+            new_buffer = alloc(new_capacity);
+            memcopy(new_buffer, buffer, length);
+            buffer = new_buffer;
+            capacity = new_capacity;
+        }
+        poke8(buffer + length, symbol);
+        length = length + 1;
+    }
+    hb_len = length;
+    return buffer;
+}
+
+// Token-stream cursor over the unpacked bytes (varints and run bytes).
+int tk_addr;
+int tk_end;
+
+int tk_init(int addr, int length) {
+    tk_addr = addr;
+    tk_end = addr + length;
+    return 0;
+}
+
+int tk_byte() {
+    int value;
+    if (tk_addr >= tk_end) { exit(36); }         // truncated token stream
+    value = peek8(tk_addr);
+    tk_addr = tk_addr + 1;
+    return value;
+}
+
+int tk_varint() {
+    int value;
+    int shift;
+    int piece;
+    value = 0;
+    shift = 0;
+    while (1) {
+        piece = tk_byte();
+        value = value | ((piece & 127) << shift);
+        if ((piece & 128) == 0) { break; }
+        shift = shift + 7;
+        if (shift > 35) { exit(37); }            // runaway varint
+    }
+    return value;
+}
+
+int tk_done() {
+    if (tk_addr >= tk_end) { return 1; }
+    return 0;
+}
+
+// Zig-zag mapping of signed values (shared by image codecs).
+int zz_decode(int value) {
+    return (value >> 1) ^ (0 - (value & 1));
+}
+"""
+
+# --------------------------------------------------------------------------
+# BMP writer: 24-bit uncompressed, bottom-up, BGR, rows padded to 4 bytes.
+# --------------------------------------------------------------------------
+
+LIB_BMP = r"""
+int bmp_stride(int width) {
+    return (width * 3 + 3) & 0xfffffffc;
+}
+
+// Write the 54-byte BMP header for a width x height 24-bit image.
+int bmp_begin(int width, int height) {
+    int stride;
+    int image_size;
+    stride = bmp_stride(width);
+    image_size = stride * height;
+    out_byte('B');
+    out_byte('M');
+    out_u32le(54 + image_size);     // file size
+    out_u32le(0);                   // reserved
+    out_u32le(54);                  // pixel data offset
+    out_u32le(40);                  // BITMAPINFOHEADER size
+    out_u32le(width);
+    out_u32le(height);
+    out_u16le(1);                   // planes
+    out_u16le(24);                  // bits per pixel
+    out_u32le(0);                   // BI_RGB
+    out_u32le(image_size);
+    out_u32le(2835);                // x pixels per metre
+    out_u32le(2835);                // y pixels per metre
+    out_u32le(0);
+    out_u32le(0);
+    return 0;
+}
+"""
+
+# --------------------------------------------------------------------------
+# WAV writer: canonical 44-byte header, 16-bit PCM.
+# --------------------------------------------------------------------------
+
+LIB_WAV = r"""
+int wav_begin(int sample_rate, int channels, int num_frames) {
+    int data_size;
+    data_size = num_frames * channels * 2;
+    out_byte('R'); out_byte('I'); out_byte('F'); out_byte('F');
+    out_u32le(36 + data_size);
+    out_byte('W'); out_byte('A'); out_byte('V'); out_byte('E');
+    out_byte('f'); out_byte('m'); out_byte('t'); out_byte(' ');
+    out_u32le(16);
+    out_u16le(1);                        // PCM
+    out_u16le(channels);
+    out_u32le(sample_rate);
+    out_u32le(sample_rate * channels * 2);
+    out_u16le(channels * 2);
+    out_u16le(16);
+    out_byte('d'); out_byte('a'); out_byte('t'); out_byte('a');
+    out_u32le(data_size);
+    return 0;
+}
+"""

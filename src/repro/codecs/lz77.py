@@ -1,0 +1,160 @@
+"""LZ77 string matching with hash chains.
+
+This is the string-matching half of the ``vxz`` general-purpose codec (the
+deflate-class codec of Table 1).  Match lengths and distances use the same
+slot-plus-extra-bits ranges as DEFLATE so the compressed streams have the
+familiar structure.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+#: Matching parameters (same ranges as DEFLATE).
+MIN_MATCH = 3
+MAX_MATCH = 258
+WINDOW_SIZE = 32 * 1024
+
+#: Length slots: (base_length, extra_bits) for symbols 257.. (DEFLATE table).
+LENGTH_SLOTS = (
+    (3, 0), (4, 0), (5, 0), (6, 0), (7, 0), (8, 0), (9, 0), (10, 0),
+    (11, 1), (13, 1), (15, 1), (17, 1), (19, 2), (23, 2), (27, 2), (31, 2),
+    (35, 3), (43, 3), (51, 3), (59, 3), (67, 4), (83, 4), (99, 4), (115, 4),
+    (131, 5), (163, 5), (195, 5), (227, 5), (258, 0),
+)
+
+#: Distance slots: (base_distance, extra_bits) (DEFLATE table).
+DISTANCE_SLOTS = (
+    (1, 0), (2, 0), (3, 0), (4, 0), (5, 1), (7, 1), (9, 2), (13, 2),
+    (17, 3), (25, 3), (33, 4), (49, 4), (65, 5), (97, 5), (129, 6), (193, 6),
+    (257, 7), (385, 7), (513, 8), (769, 8), (1025, 9), (1537, 9),
+    (2049, 10), (3073, 10), (4097, 11), (6145, 11), (8193, 12), (12289, 12),
+    (16385, 13), (24577, 13),
+)
+
+#: Number of literal/length symbols: 256 literals + end-of-block + length slots.
+END_OF_BLOCK = 256
+NUM_LITLEN_SYMBOLS = 257 + len(LENGTH_SLOTS)
+NUM_DISTANCE_SYMBOLS = len(DISTANCE_SLOTS)
+
+
+def length_to_slot(length: int) -> tuple[int, int, int]:
+    """Map a match length to ``(slot_index, extra_bits, extra_value)``."""
+    for index in range(len(LENGTH_SLOTS) - 1, -1, -1):
+        base, extra = LENGTH_SLOTS[index]
+        if length >= base:
+            return index, extra, length - base
+    raise ValueError(f"match length {length} below minimum")
+
+
+def distance_to_slot(distance: int) -> tuple[int, int, int]:
+    """Map a match distance to ``(slot_index, extra_bits, extra_value)``."""
+    for index in range(len(DISTANCE_SLOTS) - 1, -1, -1):
+        base, extra = DISTANCE_SLOTS[index]
+        if distance >= base:
+            return index, extra, distance - base
+    raise ValueError(f"distance {distance} below minimum")
+
+
+@dataclass(frozen=True)
+class Token:
+    """One LZ77 token: either a literal byte or a (length, distance) match."""
+
+    literal: int | None = None
+    length: int = 0
+    distance: int = 0
+
+    @property
+    def is_literal(self) -> bool:
+        return self.literal is not None
+
+
+def tokenize(data: bytes, *, max_chain: int = 64, lazy: bool = True) -> list[Token]:
+    """Greedy/lazy LZ77 parse of ``data`` into literals and matches.
+
+    Args:
+        data: input bytes.
+        max_chain: hash-chain positions examined per match attempt (the
+            compression-level knob).
+        lazy: enable one-step lazy matching, as zlib does at higher levels.
+    """
+    length = len(data)
+    tokens: list[Token] = []
+    head: dict[int, int] = {}
+    previous = [0] * length
+    position = 0
+
+    def hash_at(index: int) -> int:
+        return data[index] | (data[index + 1] << 8) | (data[index + 2] << 16)
+
+    def insert(index: int) -> None:
+        if index + MIN_MATCH <= length:
+            key = hash_at(index)
+            previous[index] = head.get(key, -1)
+            head[key] = index
+
+    def find_match(index: int) -> tuple[int, int]:
+        """Return (best_length, best_distance) for position ``index``."""
+        if index + MIN_MATCH > length:
+            return 0, 0
+        key = hash_at(index)
+        candidate = head.get(key, -1)
+        best_length = 0
+        best_distance = 0
+        chain = max_chain
+        limit = min(MAX_MATCH, length - index)
+        window_start = index - WINDOW_SIZE
+        while candidate >= 0 and candidate >= window_start and chain > 0:
+            chain -= 1
+            match_length = 0
+            while (
+                match_length < limit
+                and data[candidate + match_length] == data[index + match_length]
+            ):
+                match_length += 1
+            if match_length > best_length:
+                best_length = match_length
+                best_distance = index - candidate
+                if match_length >= limit:
+                    break
+            candidate = previous[candidate]
+        if best_length < MIN_MATCH:
+            return 0, 0
+        return best_length, best_distance
+
+    while position < length:
+        inserted_current = False
+        match_length, match_distance = find_match(position)
+        if lazy and MIN_MATCH <= match_length < MAX_MATCH and position + 1 < length:
+            insert(position)
+            inserted_current = True
+            next_length, next_distance = find_match(position + 1)
+            if next_length > match_length:
+                tokens.append(Token(literal=data[position]))
+                position += 1
+                inserted_current = False
+                match_length, match_distance = next_length, next_distance
+        if match_length >= MIN_MATCH:
+            tokens.append(Token(length=match_length, distance=match_distance))
+            for offset in range(1 if inserted_current else 0, match_length):
+                insert(position + offset)
+            position += match_length
+        else:
+            if not inserted_current:
+                insert(position)
+            tokens.append(Token(literal=data[position]))
+            position += 1
+    return tokens
+
+
+def reconstruct(tokens: list[Token]) -> bytes:
+    """Inverse of :func:`tokenize` (reference decoder used in tests)."""
+    output = bytearray()
+    for token in tokens:
+        if token.is_literal:
+            output.append(token.literal)
+        else:
+            start = len(output) - token.distance
+            for offset in range(token.length):
+                output.append(output[start + offset])
+    return bytes(output)

@@ -1,0 +1,136 @@
+"""The archiver's codec plug-in registry.
+
+The vxZIP archiver is not built around a fixed set of compressors (paper
+section 3.3): codecs register here and the archiver consults the registry to
+pick a codec per input file.  The registry also produces the decoder
+inventory of the paper's Table 1.
+"""
+
+from __future__ import annotations
+
+from repro.codecs.base import Codec
+from repro.codecs.vxbwt import VxbwtCodec
+from repro.codecs.vxflac import VxflacCodec
+from repro.codecs.vximg import VximgCodec
+from repro.codecs.vxjp2 import Vxjp2Codec
+from repro.codecs.vxsnd import VxsndCodec
+from repro.codecs.vxz import VxzCodec
+from repro.errors import CodecError
+
+
+class CodecRegistry:
+    """A mutable set of codec plug-ins with lookup helpers."""
+
+    def __init__(self, codecs: list[Codec] | None = None, *, default: str = "vxz"):
+        self._codecs: dict[str, Codec] = {}
+        for codec in codecs if codecs is not None else _standard_codecs():
+            self.register(codec)
+        if default not in self._codecs:
+            raise CodecError(f"default codec {default!r} is not registered")
+        self._default = default
+
+    # -- management -----------------------------------------------------------------
+
+    def register(self, codec: Codec) -> None:
+        """Add (or replace) a codec plug-in."""
+        self._codecs[codec.info.name] = codec
+
+    def unregister(self, name: str) -> None:
+        if name == self._default:
+            raise CodecError("cannot unregister the default codec")
+        self._codecs.pop(name, None)
+
+    def __contains__(self, name: str) -> bool:
+        return name in self._codecs
+
+    def __iter__(self):
+        return iter(self._codecs.values())
+
+    def __len__(self) -> int:
+        return len(self._codecs)
+
+    @property
+    def names(self) -> list[str]:
+        return list(self._codecs)
+
+    # -- lookup -----------------------------------------------------------------------
+
+    def get(self, name: str) -> Codec:
+        try:
+            return self._codecs[name]
+        except KeyError:
+            raise CodecError(f"no codec named {name!r} is registered") from None
+
+    @property
+    def default(self) -> Codec:
+        return self._codecs[self._default]
+
+    def recognize_compressed(self, data: bytes) -> Codec | None:
+        """Find the codec whose *compressed* format ``data`` is already in.
+
+        This is the redec path: the archiver stores such data untouched and
+        merely attaches the matching decoder.
+        """
+        for codec in self._codecs.values():
+            if codec.matches(data):
+                return codec
+        return None
+
+    def select_for_raw(self, data: bytes, *, allow_lossy: bool = False) -> Codec:
+        """Choose the codec used to compress raw content.
+
+        Media-specific codecs win over the general-purpose default when they
+        recognise the content, but lossy codecs are only chosen when the
+        operator explicitly allows loss (paper section 2.2).
+        """
+        for codec in self._codecs.values():
+            if codec.info.category == "general":
+                continue        # general-purpose codecs are the fallback, not a match
+            if not codec.can_encode(data):
+                continue
+            if codec.info.lossy and not allow_lossy:
+                continue
+            return codec
+        return self.default
+
+    # -- reporting -----------------------------------------------------------------------
+
+    def inventory(self) -> list[dict]:
+        """The decoder inventory, one row per codec (paper Table 1)."""
+        rows = []
+        for codec in self._codecs.values():
+            info = codec.info
+            rows.append(
+                {
+                    "decoder": info.name,
+                    "description": info.description,
+                    "availability": info.availability,
+                    "output_format": info.output_format,
+                    "category": info.category,
+                    "lossy": info.lossy,
+                }
+            )
+        return rows
+
+
+def _standard_codecs() -> list[Codec]:
+    """The six codecs shipped with the prototype (paper Table 1)."""
+    return [
+        VxzCodec(),
+        VxbwtCodec(),
+        VximgCodec(),
+        Vxjp2Codec(),
+        VxflacCodec(),
+        VxsndCodec(),
+    ]
+
+
+_default_registry: CodecRegistry | None = None
+
+
+def default_registry() -> CodecRegistry:
+    """A process-wide registry with the standard codecs (lazily constructed)."""
+    global _default_registry
+    if _default_registry is None:
+        _default_registry = CodecRegistry()
+    return _default_registry

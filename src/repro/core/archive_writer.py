@@ -1,0 +1,236 @@
+"""vxZIP: the VXA-enhanced archive writer (paper sections 2.2 and 3).
+
+For every input file the writer:
+
+1. asks the codec registry whether the file is *already* compressed in a
+   recognised format -- if so it is stored untouched with ZIP method 0 and a
+   VXA decoder attached (the recogniser-decoder, "redec", path), so old
+   tools can still extract the original compressed file;
+2. otherwise picks a codec (media-specific when one recognises the content
+   and loss is permitted, the general-purpose default otherwise), compresses
+   the file natively, stores it with the reserved VXA method tag and attaches
+   the codec's decoder;
+3. files can also be stored raw (no compression, no decoder) on request.
+
+Each distinct decoder image is embedded once as a hidden pseudo-file and
+shared by every member that references it.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.codecs.base import Codec
+from repro.codecs.registry import CodecRegistry, default_registry
+from repro.core.decoder_store import DecoderStore, StoredDecoder
+from repro.core.extension import VxaExtension
+from repro.core.policy import SecurityAttributes
+from repro.errors import ArchiveError
+from repro.zipformat.crc import crc32
+from repro.zipformat.structures import METHOD_STORE, METHOD_VXA
+from repro.zipformat.writer import ZipWriter
+
+
+@dataclass
+class ArchivedFileInfo:
+    """What the writer did with one input file (returned for reporting)."""
+
+    name: str
+    codec: str | None
+    stored_size: int
+    original_size: int
+    precompressed: bool
+    method: int
+
+    @property
+    def ratio(self) -> float:
+        if self.original_size == 0:
+            return 1.0
+        return self.stored_size / self.original_size
+
+
+@dataclass
+class ArchiveManifest:
+    """Summary of a finished archive."""
+
+    files: list[ArchivedFileInfo] = field(default_factory=list)
+    decoders: list[StoredDecoder] = field(default_factory=list)
+    archive_size: int = 0
+
+    @property
+    def decoder_overhead_bytes(self) -> int:
+        return sum(decoder.compressed_size for decoder in self.decoders)
+
+    @property
+    def decoder_overhead_fraction(self) -> float:
+        if self.archive_size == 0:
+            return 0.0
+        return self.decoder_overhead_bytes / self.archive_size
+
+
+class ArchiveWriter:
+    """Builds vxZIP archives in memory."""
+
+    def __init__(
+        self,
+        registry: CodecRegistry | None = None,
+        *,
+        allow_lossy: bool = False,
+        attach_decoders: bool = True,
+    ):
+        self._registry = registry or default_registry()
+        self._allow_lossy = allow_lossy
+        self._attach_decoders = attach_decoders
+        self._zip = ZipWriter()
+        self._decoders = DecoderStore(self._zip)
+        self._manifest = ArchiveManifest()
+        self._finished = False
+
+    # -- adding files ------------------------------------------------------------------
+
+    def add_file(
+        self,
+        name: str,
+        data: bytes,
+        *,
+        codec: str | None = None,
+        allow_lossy: bool | None = None,
+        attributes: SecurityAttributes | None = None,
+        store_raw: bool = False,
+        encode_options: dict | None = None,
+    ) -> ArchivedFileInfo:
+        """Archive one file.
+
+        Args:
+            name: member name inside the archive.
+            data: file contents.
+            codec: force a specific codec by name (bypasses selection).
+            allow_lossy: override the writer-level lossy policy for this file.
+            attributes: Unix-style security attributes recorded on the member.
+            store_raw: store the file uncompressed with no decoder attached.
+            encode_options: extra keyword arguments for the codec's encoder.
+        """
+        if self._finished:
+            raise ArchiveError("archive already finalised")
+        if not name:
+            raise ArchiveError("archived files need a name")
+        lossy_ok = self._allow_lossy if allow_lossy is None else allow_lossy
+        attributes = attributes or SecurityAttributes()
+        external = (attributes.mode & 0xFFFF) << 16
+
+        if store_raw:
+            self._zip.add_member(name, data, method=METHOD_STORE,
+                                 external_attributes=external)
+            info = ArchivedFileInfo(name, None, len(data), len(data), False, METHOD_STORE)
+            self._manifest.files.append(info)
+            return info
+
+        recognized = self._registry.recognize_compressed(data)
+        if codec is not None:
+            chosen = self._registry.get(codec)
+            if recognized is not None and recognized.name == chosen.name:
+                return self._add_precompressed(name, data, chosen, external)
+            return self._add_encoded(name, data, chosen, external, encode_options)
+        if recognized is not None:
+            return self._add_precompressed(name, data, recognized, external)
+        chosen = self._registry.select_for_raw(data, allow_lossy=lossy_ok)
+        return self._add_encoded(name, data, chosen, external, encode_options)
+
+    def _attach(self, codec: Codec) -> StoredDecoder | None:
+        if not self._attach_decoders:
+            return None
+        return self._decoders.store(codec.name, codec.guest_decoder_image())
+
+    def _add_precompressed(self, name: str, data: bytes, codec: Codec,
+                           external: int) -> ArchivedFileInfo:
+        """The redec path: store already-compressed data untouched (method 0)."""
+        decoder = self._attach(codec)
+        decoded_size, decoded_crc = _decoded_identity(codec, data)
+        extra = b""
+        if decoder is not None:
+            extra = VxaExtension(
+                decoder_offset=decoder.offset,
+                original_size=decoded_size,
+                original_crc32=decoded_crc,
+                codec_name=codec.name,
+                precompressed=True,
+                lossy=codec.info.lossy,
+            ).pack()
+        self._zip.add_member(name, data, method=METHOD_STORE, extra=extra,
+                             external_attributes=external)
+        info = ArchivedFileInfo(name, codec.name, len(data), len(data), True, METHOD_STORE)
+        self._manifest.files.append(info)
+        return info
+
+    def _add_encoded(self, name: str, data: bytes, codec: Codec, external: int,
+                     encode_options: dict | None) -> ArchivedFileInfo:
+        """Compress with a codec's native encoder and tag with the VXA method."""
+        encoded = codec.encode(data, **(encode_options or {}))
+        decoder = self._attach(codec)
+        # For lossy codecs the "original" the decoder reproduces is the decoded
+        # output, not the input bytes; record the decoder's actual product so
+        # integrity checks are meaningful (paper section 2.3).
+        if codec.info.lossy:
+            reference = codec.decode(encoded)
+        else:
+            reference = data
+        extra = b""
+        if decoder is not None:
+            extra = VxaExtension(
+                decoder_offset=decoder.offset,
+                original_size=len(reference),
+                original_crc32=crc32(reference),
+                codec_name=codec.name,
+                precompressed=False,
+                lossy=codec.info.lossy,
+            ).pack()
+        self._zip.add_member(
+            name,
+            encoded,
+            method=METHOD_VXA,
+            uncompressed_size=len(reference),
+            crc=crc32(reference),
+            extra=extra,
+            external_attributes=external,
+        )
+        info = ArchivedFileInfo(name, codec.name, len(encoded), len(data), False, METHOD_VXA)
+        self._manifest.files.append(info)
+        return info
+
+    # -- finishing -----------------------------------------------------------------------
+
+    def finish(self, comment: bytes = b"vxZIP archive") -> bytes:
+        """Finalise and return the archive bytes."""
+        if self._finished:
+            raise ArchiveError("archive already finalised")
+        archive = self._zip.finish(comment)
+        self._finished = True
+        self._manifest.decoders = self._decoders.stored
+        self._manifest.archive_size = len(archive)
+        return archive
+
+    @property
+    def manifest(self) -> ArchiveManifest:
+        return self._manifest
+
+
+def _decoded_identity(codec: Codec, compressed: bytes) -> tuple[int, int]:
+    """Size and CRC of what the decoder will produce for pre-compressed input."""
+    decoded = codec.decode(compressed)
+    return len(decoded), crc32(decoded)
+
+
+def create_archive(
+    files: dict[str, bytes],
+    *,
+    registry: CodecRegistry | None = None,
+    allow_lossy: bool = False,
+    attach_decoders: bool = True,
+) -> tuple[bytes, ArchiveManifest]:
+    """Convenience helper: archive a mapping of name -> contents."""
+    writer = ArchiveWriter(registry, allow_lossy=allow_lossy,
+                           attach_decoders=attach_decoders)
+    for name, data in files.items():
+        writer.add_file(name, data)
+    archive = writer.finish()
+    return archive, writer.manifest

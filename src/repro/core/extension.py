@@ -1,0 +1,94 @@
+"""The VXA extension header attached to every archived file.
+
+Paper section 3.1: "vxZIP attaches a new VXA extension header to each file,
+pointing to the file's associated VXA decoder".  Because ZIP extension
+headers are limited to 64 KB, the decoder itself lives elsewhere in the
+archive as a pseudo-file; the extension header carries only the decoder's
+archive offset plus a little metadata that lets the reader pick a native
+fast path when it recognises the codec.
+"""
+
+from __future__ import annotations
+
+import struct
+from dataclasses import dataclass
+
+from repro.errors import ArchiveError
+from repro.zipformat.structures import ExtraField, pack_extra_fields, unpack_extra_fields
+
+#: Extra-field header ID used for the VXA extension ("Vx" little-endian).
+VXA_EXTRA_ID = 0x7856
+
+#: Flag bits.
+FLAG_PRECOMPRESSED = 0x01       # file was stored already-compressed (redec path)
+FLAG_LOSSY = 0x02               # the codec that produced the data is lossy
+
+_FIXED = struct.Struct("<BIIIB")
+_VERSION = 1
+
+
+@dataclass(frozen=True)
+class VxaExtension:
+    """Decoded contents of one VXA extension header.
+
+    Attributes:
+        decoder_offset: archive offset of the decoder pseudo-file's local header.
+        original_size: size of the fully-decoded output (what the archived
+            decoder produces), used for integrity checking.
+        original_crc32: CRC-32 of the fully-decoded output.
+        codec_name: name of the codec that produced the data (advisory; lets
+            the reader use a native decoder when it has one).
+        precompressed: True when the file was stored in its original,
+            already-compressed form (ZIP method 0) and the decoder merely
+            provides the long-term fallback.
+        lossy: True when the producing codec is lossy.
+    """
+
+    decoder_offset: int
+    original_size: int
+    original_crc32: int
+    codec_name: str
+    precompressed: bool = False
+    lossy: bool = False
+
+    def pack(self) -> bytes:
+        """Serialise as a ZIP extra-field block."""
+        name_bytes = self.codec_name.encode("utf-8")[:255]
+        flags = (FLAG_PRECOMPRESSED if self.precompressed else 0) | (
+            FLAG_LOSSY if self.lossy else 0
+        )
+        payload = _FIXED.pack(
+            _VERSION,
+            self.decoder_offset,
+            self.original_size,
+            self.original_crc32,
+            flags,
+        ) + bytes([len(name_bytes)]) + name_bytes
+        return pack_extra_fields([ExtraField(VXA_EXTRA_ID, payload)])
+
+
+def parse_extension(extra: bytes) -> VxaExtension | None:
+    """Extract the VXA extension from a member's extra-field block, if present."""
+    for field in unpack_extra_fields(extra):
+        if field.header_id != VXA_EXTRA_ID:
+            continue
+        payload = field.payload
+        if len(payload) < _FIXED.size + 1:
+            raise ArchiveError("VXA extension header is truncated")
+        version, offset, size, crc, flags = _FIXED.unpack_from(payload, 0)
+        if version != _VERSION:
+            raise ArchiveError(f"unsupported VXA extension version {version}")
+        name_length = payload[_FIXED.size]
+        name_start = _FIXED.size + 1
+        name_end = name_start + name_length
+        if name_end > len(payload):
+            raise ArchiveError("VXA extension codec name is truncated")
+        return VxaExtension(
+            decoder_offset=offset,
+            original_size=size,
+            original_crc32=crc,
+            codec_name=payload[name_start:name_end].decode("utf-8", "replace"),
+            precompressed=bool(flags & FLAG_PRECOMPRESSED),
+            lossy=bool(flags & FLAG_LOSSY),
+        )
+    return None

@@ -1,0 +1,41 @@
+"""Stand-alone archive integrity checking helpers.
+
+Thin wrappers over :meth:`repro.core.archive_reader.ArchiveReader.check_archive`
+for callers that just want a yes/no answer or a printable report.  Kept
+separate so the examples and benchmarks can exercise integrity checking
+without constructing readers themselves.
+"""
+
+from __future__ import annotations
+
+from repro.codecs.registry import CodecRegistry
+from repro.core.archive_reader import ArchiveReader, IntegrityReport
+from repro.core.policy import VmReusePolicy
+
+
+def check_archive(
+    archive: bytes,
+    *,
+    registry: CodecRegistry | None = None,
+    reuse_policy: VmReusePolicy = VmReusePolicy.ALWAYS_FRESH,
+) -> IntegrityReport:
+    """Run the full always-use-the-archived-decoder integrity check."""
+    reader = ArchiveReader(archive, registry=registry)
+    return reader.check_archive(reuse_policy=reuse_policy)
+
+
+def is_archive_intact(archive: bytes, **kwargs) -> bool:
+    """True when every decoder-bearing member decodes to its recorded checksum."""
+    return check_archive(archive, **kwargs).ok
+
+
+def format_report(report: IntegrityReport) -> str:
+    """Render an integrity report the way the vxUnZIP tool would print it."""
+    lines = [f"members checked : {report.checked}",
+             f"members passed  : {report.passed}"]
+    if report.failures:
+        lines.append("failures:")
+        lines.extend(f"  - {failure}" for failure in report.failures)
+    else:
+        lines.append("archive integrity: OK (all archived decoders reproduce their data)")
+    return "\n".join(lines)

@@ -1,0 +1,128 @@
+"""Parse ELF32 executables produced for the VXA-32 virtual machine.
+
+The archive reader uses this to validate and load decoder images extracted
+from archives.  Parsing is defensive throughout: decoder images come from
+untrusted archives, so every offset and size is bounds-checked and malformed
+images raise :class:`~repro.errors.ElfFormatError` rather than crashing or
+over-reading.
+"""
+
+from __future__ import annotations
+
+import json
+
+from repro.errors import ElfFormatError
+from repro.elf.structures import (
+    EHDR_SIZE,
+    ELF_MAGIC,
+    ELFCLASS32,
+    ELFDATA2LSB,
+    EI_CLASS,
+    EI_DATA,
+    EM_VXA32,
+    ET_EXEC,
+    ElfHeader,
+    ElfImage,
+    PHDR_SIZE,
+    PT_LOAD,
+    PT_NOTE,
+    ProgramHeader,
+    Segment,
+)
+
+#: Reject decoder images claiming more than this much guest memory at load.
+MAX_IMAGE_MEMORY = 1 << 30  # 1 GB, the paper's address-space ceiling
+
+
+def parse_executable(data: bytes, *, require_vxa: bool = True) -> ElfImage:
+    """Parse ``data`` as a VXA-32 ELF executable.
+
+    Args:
+        data: raw ELF image bytes.
+        require_vxa: when true (the default), reject images whose machine
+            field is not the VXA-32 architecture.
+
+    Raises:
+        ElfFormatError: if the image is malformed or unacceptable.
+    """
+    if len(data) < EHDR_SIZE:
+        raise ElfFormatError("image smaller than an ELF header")
+    if data[:4] != ELF_MAGIC:
+        raise ElfFormatError("bad ELF magic")
+    if data[EI_CLASS] != ELFCLASS32:
+        raise ElfFormatError("not an ELF32 image")
+    if data[EI_DATA] != ELFDATA2LSB:
+        raise ElfFormatError("not a little-endian image")
+
+    header = ElfHeader.unpack(data)
+    if header.e_type != ET_EXEC:
+        raise ElfFormatError(f"not an executable image (e_type={header.e_type})")
+    if require_vxa and header.e_machine != EM_VXA32:
+        raise ElfFormatError(
+            f"unsupported machine 0x{header.e_machine:04x}; expected VXA-32"
+        )
+    if header.e_phentsize != PHDR_SIZE:
+        raise ElfFormatError(f"unexpected program header size {header.e_phentsize}")
+    if header.e_phnum == 0 or header.e_phnum > 16:
+        raise ElfFormatError(f"implausible program header count {header.e_phnum}")
+    if header.e_phoff + header.e_phnum * PHDR_SIZE > len(data):
+        raise ElfFormatError("program header table extends past end of image")
+
+    image = ElfImage(entry=header.e_entry, machine=header.e_machine)
+    total_memory = 0
+    for index in range(header.e_phnum):
+        phdr = ProgramHeader.unpack(data, header.e_phoff + index * PHDR_SIZE)
+        if phdr.p_type == PT_NOTE:
+            if phdr.p_offset + phdr.p_filesz > len(data):
+                raise ElfFormatError("note segment extends past end of image")
+            image.note = data[phdr.p_offset : phdr.p_offset + phdr.p_filesz]
+            continue
+        if phdr.p_type != PT_LOAD:
+            continue
+        if phdr.p_filesz > phdr.p_memsz:
+            raise ElfFormatError("segment file size exceeds memory size")
+        if phdr.p_offset + phdr.p_filesz > len(data):
+            raise ElfFormatError("segment extends past end of image")
+        if phdr.p_vaddr + phdr.p_memsz > MAX_IMAGE_MEMORY:
+            raise ElfFormatError("segment exceeds the 1 GB guest address space")
+        total_memory = max(total_memory, phdr.p_vaddr + phdr.p_memsz)
+        image.segments.append(
+            Segment(
+                vaddr=phdr.p_vaddr,
+                data=data[phdr.p_offset : phdr.p_offset + phdr.p_filesz],
+                memsz=phdr.p_memsz,
+                flags=phdr.p_flags,
+            )
+        )
+    if not image.segments:
+        raise ElfFormatError("image contains no loadable segments")
+    executable_segments = [segment for segment in image.segments if segment.executable]
+    if not executable_segments:
+        raise ElfFormatError("image contains no executable segment")
+    if not any(
+        segment.vaddr <= image.entry < segment.vaddr + segment.memsz
+        for segment in executable_segments
+    ):
+        raise ElfFormatError("entry point lies outside all executable segments")
+    return image
+
+
+def read_note(data: bytes) -> dict:
+    """Return the JSON provenance note embedded in a decoder image, or ``{}``."""
+    image = parse_executable(data, require_vxa=False)
+    if not image.note:
+        return {}
+    try:
+        note = json.loads(image.note.decode())
+    except (ValueError, UnicodeDecodeError):
+        return {}
+    return note if isinstance(note, dict) else {}
+
+
+def is_vxa_executable(data: bytes) -> bool:
+    """Cheap check used by file-type sniffing and archive validation."""
+    try:
+        parse_executable(data)
+    except ElfFormatError:
+        return False
+    return True

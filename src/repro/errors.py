@@ -1,0 +1,120 @@
+"""Exception hierarchy for the VXA reproduction.
+
+All library-specific errors derive from :class:`VxaError` so applications can
+catch one base class.  Errors raised *on behalf of* a guest decoder (faults,
+sandbox violations, resource exhaustion) derive from :class:`GuestFault`;
+they indicate that an archived decoder misbehaved, never that the host is in
+an inconsistent state -- this is the isolation property of paper section 2.4.
+"""
+
+from __future__ import annotations
+
+
+class VxaError(Exception):
+    """Base class for all errors raised by this library."""
+
+
+# --------------------------------------------------------------------------
+# Toolchain errors (ISA / assembler / ELF / vxc compiler)
+# --------------------------------------------------------------------------
+
+class InvalidInstructionError(VxaError):
+    """An instruction could not be encoded or decoded."""
+
+
+class AssemblerError(VxaError):
+    """Assembly source was malformed (bad mnemonic, unknown label, ...)."""
+
+
+class ElfFormatError(VxaError):
+    """An ELF image was malformed or not a VXA-32 executable."""
+
+
+class VxcError(VxaError):
+    """Base class for vxc compiler errors."""
+
+
+class VxcSyntaxError(VxcError):
+    """vxc source failed to lex or parse."""
+
+    def __init__(self, message: str, line: int | None = None, column: int | None = None):
+        location = ""
+        if line is not None:
+            location = f" at line {line}" + (f", column {column}" if column is not None else "")
+        super().__init__(message + location)
+        self.line = line
+        self.column = column
+
+
+class VxcSemanticError(VxcError):
+    """vxc source is syntactically valid but semantically wrong."""
+
+
+# --------------------------------------------------------------------------
+# Virtual machine / guest faults
+# --------------------------------------------------------------------------
+
+class GuestFault(VxaError):
+    """A guest decoder faulted; the host and VM remain consistent."""
+
+
+class MemoryFault(GuestFault):
+    """The guest accessed memory outside its sandbox."""
+
+    def __init__(self, address: int, size: int, kind: str):
+        super().__init__(f"guest {kind} fault: address=0x{address:08x} size={size}")
+        self.address = address
+        self.size = size
+        self.kind = kind
+
+
+class IllegalInstructionFault(GuestFault):
+    """The guest executed an illegal or unsafe instruction."""
+
+
+class DivisionFault(GuestFault):
+    """The guest divided by zero."""
+
+
+class SyscallFault(GuestFault):
+    """The guest made an invalid virtual system call."""
+
+
+class ResourceLimitExceeded(GuestFault):
+    """The guest exceeded an execution resource limit (fuel, output, memory)."""
+
+
+class StackFault(GuestFault):
+    """The guest stack pointer left the sandbox or overflowed."""
+
+
+# --------------------------------------------------------------------------
+# Codec and data format errors
+# --------------------------------------------------------------------------
+
+class CodecError(VxaError):
+    """Encoded data is corrupt or not in the expected codec format."""
+
+
+class FormatError(VxaError):
+    """An uncompressed container (BMP/WAV/PPM) is malformed."""
+
+
+# --------------------------------------------------------------------------
+# Archive errors
+# --------------------------------------------------------------------------
+
+class ZipFormatError(VxaError):
+    """A ZIP container is structurally malformed."""
+
+
+class ArchiveError(VxaError):
+    """A vxZIP archive violates the VXA conventions (missing decoder, ...)."""
+
+
+class IntegrityError(ArchiveError):
+    """An archive integrity check failed (CRC mismatch or decode failure)."""
+
+
+class DecoderMissingError(ArchiveError):
+    """An archived file references a decoder that is not present."""

@@ -1,0 +1,34 @@
+"""Uncompressed container formats decoders extract into (BMP, WAV, PPM)."""
+
+from repro.formats.bmp import is_bmp, read_bmp, write_bmp
+from repro.formats.ppm import is_ppm, read_ppm, write_ppm
+from repro.formats.sniff import (
+    KIND_COMPRESSED,
+    KIND_RAW_AUDIO,
+    KIND_RAW_IMAGE,
+    KIND_RAW_TEXT,
+    SniffResult,
+    looks_compressed,
+    sniff,
+)
+from repro.formats.wav import WavAudio, is_wav, read_wav, write_wav
+
+__all__ = [
+    "is_bmp",
+    "read_bmp",
+    "write_bmp",
+    "is_ppm",
+    "read_ppm",
+    "write_ppm",
+    "KIND_COMPRESSED",
+    "KIND_RAW_AUDIO",
+    "KIND_RAW_IMAGE",
+    "KIND_RAW_TEXT",
+    "SniffResult",
+    "looks_compressed",
+    "sniff",
+    "WavAudio",
+    "is_wav",
+    "read_wav",
+    "write_wav",
+]

@@ -1,0 +1,90 @@
+"""Windows BMP reader/writer (24-bit uncompressed).
+
+The paper's image decoders output "uncompressed images in the simple and
+universally-understood Windows BMP file format" (section 5.1); the guest
+image decoders here do the same, so this module provides the exact layout
+they emit (BITMAPFILEHEADER + BITMAPINFOHEADER, bottom-up rows, BGR byte
+order, rows padded to 4 bytes).
+"""
+
+from __future__ import annotations
+
+import struct
+
+import numpy as np
+
+from repro.errors import FormatError
+
+FILE_HEADER_SIZE = 14
+INFO_HEADER_SIZE = 40
+PIXEL_DATA_OFFSET = FILE_HEADER_SIZE + INFO_HEADER_SIZE
+
+
+def row_stride(width: int) -> int:
+    """Bytes per BMP row (3 bytes per pixel, padded to a multiple of 4)."""
+    return (width * 3 + 3) & ~3
+
+
+def write_bmp(pixels: np.ndarray) -> bytes:
+    """Serialise an ``(height, width, 3)`` RGB uint8 array as a 24-bit BMP."""
+    if pixels.ndim != 3 or pixels.shape[2] != 3:
+        raise FormatError("write_bmp expects an (H, W, 3) RGB array")
+    height, width, _ = pixels.shape
+    stride = row_stride(width)
+    image_size = stride * height
+    file_size = PIXEL_DATA_OFFSET + image_size
+
+    header = struct.pack("<2sIHHI", b"BM", file_size, 0, 0, PIXEL_DATA_OFFSET)
+    info = struct.pack(
+        "<IiiHHIIiiII",
+        INFO_HEADER_SIZE,
+        width,
+        height,
+        1,              # planes
+        24,             # bits per pixel
+        0,              # BI_RGB, no compression
+        image_size,
+        2835,           # ~72 DPI
+        2835,
+        0,
+        0,
+    )
+    body = bytearray(image_size)
+    data = np.asarray(pixels, dtype=np.uint8)
+    for row in range(height):
+        source = data[height - 1 - row]            # bottom-up
+        line = source[:, ::-1].tobytes()           # RGB -> BGR
+        start = row * stride
+        body[start : start + width * 3] = line
+    return header + info + bytes(body)
+
+
+def read_bmp(data: bytes) -> np.ndarray:
+    """Parse a 24-bit uncompressed BMP into an ``(H, W, 3)`` RGB uint8 array."""
+    if len(data) < PIXEL_DATA_OFFSET or data[:2] != b"BM":
+        raise FormatError("not a BMP file")
+    offset = struct.unpack_from("<I", data, 10)[0]
+    header_size, width, height = struct.unpack_from("<Iii", data, 14)
+    planes, bpp, compression = struct.unpack_from("<HHI", data, 26)
+    if header_size < 40 or planes != 1 or bpp != 24 or compression != 0:
+        raise FormatError("only 24-bit uncompressed BMP images are supported")
+    bottom_up = height > 0
+    height = abs(height)
+    if width <= 0 or height <= 0:
+        raise FormatError("BMP has non-positive dimensions")
+    stride = row_stride(width)
+    if offset + stride * height > len(data):
+        raise FormatError("BMP pixel data is truncated")
+    pixels = np.zeros((height, width, 3), dtype=np.uint8)
+    for row in range(height):
+        start = offset + row * stride
+        line = np.frombuffer(data[start : start + width * 3], dtype=np.uint8)
+        line = line.reshape(width, 3)[:, ::-1]     # BGR -> RGB
+        target = height - 1 - row if bottom_up else row
+        pixels[target] = line
+    return pixels
+
+
+def is_bmp(data: bytes) -> bool:
+    """Cheap sniff used by the archiver's recognisers."""
+    return len(data) >= PIXEL_DATA_OFFSET and data[:2] == b"BM"

@@ -1,0 +1,60 @@
+"""PPM (P6) image reader/writer.
+
+PPM is the uncompressed interchange format the archiver's image encoders
+accept as input (the paper's encoders read whatever their upstream library
+reads; PPM is the simplest equivalent that keeps the workflow end-to-end).
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.errors import FormatError
+
+
+def write_ppm(pixels: np.ndarray) -> bytes:
+    """Serialise an ``(H, W, 3)`` RGB uint8 array as binary PPM (P6)."""
+    if pixels.ndim != 3 or pixels.shape[2] != 3:
+        raise FormatError("write_ppm expects an (H, W, 3) RGB array")
+    height, width, _ = pixels.shape
+    header = f"P6\n{width} {height}\n255\n".encode()
+    return header + np.asarray(pixels, dtype=np.uint8).tobytes()
+
+
+def read_ppm(data: bytes) -> np.ndarray:
+    """Parse a binary PPM (P6) file into an ``(H, W, 3)`` RGB uint8 array."""
+    if not data.startswith(b"P6"):
+        raise FormatError("not a binary PPM (P6) file")
+    fields: list[int] = []
+    offset = 2
+    while len(fields) < 3:
+        # Skip whitespace and comments.
+        while offset < len(data) and data[offset : offset + 1].isspace():
+            offset += 1
+        if offset < len(data) and data[offset : offset + 1] == b"#":
+            end = data.find(b"\n", offset)
+            offset = len(data) if end < 0 else end + 1
+            continue
+        start = offset
+        while offset < len(data) and not data[offset : offset + 1].isspace():
+            offset += 1
+        token = data[start:offset]
+        if not token.isdigit():
+            raise FormatError(f"bad PPM header token {token!r}")
+        fields.append(int(token))
+    width, height, max_value = fields
+    if max_value != 255:
+        raise FormatError("only 8-bit PPM images are supported")
+    if width <= 0 or height <= 0:
+        raise FormatError("PPM has non-positive dimensions")
+    offset += 1  # single whitespace after the header
+    expected = width * height * 3
+    body = data[offset : offset + expected]
+    if len(body) != expected:
+        raise FormatError("PPM pixel data is truncated")
+    return np.frombuffer(body, dtype=np.uint8).reshape(height, width, 3).copy()
+
+
+def is_ppm(data: bytes) -> bool:
+    """Cheap sniff used by the archiver's recognisers."""
+    return data.startswith(b"P6")

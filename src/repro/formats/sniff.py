@@ -1,0 +1,54 @@
+"""Content-type sniffing used by the archiver's codec recognisers.
+
+The vxZIP archiver decides per input file whether it is (a) raw content a
+codec can compress, (b) content already compressed in a recognised codec
+format (stored as-is with a decoder attached -- the "redec" path of section
+2.2), or (c) unknown (compressed with the general-purpose default codec).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.formats.bmp import is_bmp
+from repro.formats.ppm import is_ppm
+from repro.formats.wav import is_wav
+
+#: Magic prefixes of this library's own compressed formats.
+COMPRESSED_MAGICS = {
+    b"VXZ1": "vxz",
+    b"VXB1": "vxbwt",
+    b"VXI1": "vximg",
+    b"VXJ2": "vxjp2",
+    b"VXF1": "vxflac",
+    b"VXS1": "vxsnd",
+}
+
+KIND_RAW_TEXT = "raw-data"
+KIND_RAW_IMAGE = "raw-image"
+KIND_RAW_AUDIO = "raw-audio"
+KIND_COMPRESSED = "compressed"
+
+
+@dataclass(frozen=True)
+class SniffResult:
+    """Outcome of sniffing one input file."""
+
+    kind: str
+    codec_name: str | None = None   # for KIND_COMPRESSED: which codec produced it
+
+
+def sniff(data: bytes) -> SniffResult:
+    """Classify ``data`` for the archiver."""
+    magic = data[:4]
+    if magic in COMPRESSED_MAGICS:
+        return SniffResult(kind=KIND_COMPRESSED, codec_name=COMPRESSED_MAGICS[magic])
+    if is_ppm(data) or is_bmp(data):
+        return SniffResult(kind=KIND_RAW_IMAGE)
+    if is_wav(data):
+        return SniffResult(kind=KIND_RAW_AUDIO)
+    return SniffResult(kind=KIND_RAW_TEXT)
+
+
+def looks_compressed(data: bytes) -> bool:
+    return sniff(data).kind == KIND_COMPRESSED

@@ -1,0 +1,106 @@
+"""RIFF/WAVE reader and writer (16-bit PCM).
+
+The paper's audio decoders emit "an uncompressed audio file in the ubiquitous
+Windows WAV audio file format" (section 5.1).  The guest audio decoders here
+write exactly this layout (RIFF header, ``fmt `` chunk, ``data`` chunk,
+interleaved signed 16-bit little-endian samples), and the encoders accept it
+as input.
+"""
+
+from __future__ import annotations
+
+import struct
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.errors import FormatError
+
+HEADER_SIZE = 44
+
+
+@dataclass
+class WavAudio:
+    """Decoded PCM audio: ``samples`` has shape (num_frames, channels)."""
+
+    sample_rate: int
+    samples: np.ndarray
+
+    @property
+    def channels(self) -> int:
+        return self.samples.shape[1]
+
+    @property
+    def num_frames(self) -> int:
+        return self.samples.shape[0]
+
+    @property
+    def duration_seconds(self) -> float:
+        return self.num_frames / self.sample_rate if self.sample_rate else 0.0
+
+
+def write_wav(audio: WavAudio) -> bytes:
+    """Serialise 16-bit PCM audio as a canonical 44-byte-header WAV file."""
+    samples = np.asarray(audio.samples, dtype=np.int16)
+    if samples.ndim == 1:
+        samples = samples[:, np.newaxis]
+    num_frames, channels = samples.shape
+    byte_rate = audio.sample_rate * channels * 2
+    block_align = channels * 2
+    data = samples.astype("<i2").tobytes()
+    header = struct.pack(
+        "<4sI4s4sIHHIIHH4sI",
+        b"RIFF",
+        36 + len(data),
+        b"WAVE",
+        b"fmt ",
+        16,
+        1,                      # PCM
+        channels,
+        audio.sample_rate,
+        byte_rate,
+        block_align,
+        16,                     # bits per sample
+        b"data",
+        len(data),
+    )
+    return header + data
+
+
+def read_wav(data: bytes) -> WavAudio:
+    """Parse a 16-bit PCM WAV file."""
+    if len(data) < HEADER_SIZE or data[:4] != b"RIFF" or data[8:12] != b"WAVE":
+        raise FormatError("not a RIFF/WAVE file")
+    offset = 12
+    fmt = None
+    pcm = None
+    while offset + 8 <= len(data):
+        chunk_id = data[offset : offset + 4]
+        chunk_size = struct.unpack_from("<I", data, offset + 4)[0]
+        body_start = offset + 8
+        body_end = body_start + chunk_size
+        if body_end > len(data):
+            raise FormatError("WAV chunk extends past end of file")
+        if chunk_id == b"fmt ":
+            if chunk_size < 16:
+                raise FormatError("WAV fmt chunk too small")
+            fmt = struct.unpack_from("<HHIIHH", data, body_start)
+        elif chunk_id == b"data":
+            pcm = data[body_start:body_end]
+        offset = body_end + (chunk_size & 1)
+    if fmt is None or pcm is None:
+        raise FormatError("WAV file is missing fmt or data chunk")
+    audio_format, channels, sample_rate, _, _, bits = fmt
+    if audio_format != 1 or bits != 16:
+        raise FormatError("only 16-bit PCM WAV files are supported")
+    if channels < 1 or channels > 8:
+        raise FormatError(f"unsupported channel count {channels}")
+    frame_count = len(pcm) // (channels * 2)
+    samples = np.frombuffer(pcm[: frame_count * channels * 2], dtype="<i2")
+    samples = samples.reshape(frame_count, channels).astype(np.int16)
+    return WavAudio(sample_rate=sample_rate, samples=samples)
+
+
+def is_wav(data: bytes) -> bool:
+    """Cheap sniff used by the archiver's recognisers."""
+    return len(data) >= 12 and data[:4] == b"RIFF" and data[8:12] == b"WAVE"

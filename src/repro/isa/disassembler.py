@@ -1,0 +1,71 @@
+"""Disassembler for VXA-32 machine code.
+
+Used for debugging guest decoders, for the archive inspection tooling and in
+tests to assert round-trip properties of the assembler and vxc compiler.
+"""
+
+from __future__ import annotations
+
+from repro.errors import InvalidInstructionError
+from repro.isa.encoding import Instruction, decode
+from repro.isa.opcodes import Fmt, Op, OPCODES, REGISTER_NAMES
+
+
+def _reg(index: int) -> str:
+    return REGISTER_NAMES[index]
+
+
+def format_instruction(insn: Instruction, address: int | None = None) -> str:
+    """Render one decoded instruction as assembly text.
+
+    If ``address`` is provided, relative branch targets are resolved to
+    absolute addresses for readability.
+    """
+    info = OPCODES[insn.op]
+    mnemonic = info.mnemonic
+    fmt = info.fmt
+    if fmt is Fmt.NONE:
+        return mnemonic
+    if fmt is Fmt.REG:
+        return f"{mnemonic} {_reg(insn.rd)}"
+    if fmt is Fmt.REG_REG:
+        return f"{mnemonic} {_reg(insn.rd)}, {_reg(insn.rs)}"
+    if fmt is Fmt.REG_IMM:
+        return f"{mnemonic} {_reg(insn.rd)}, {insn.imm:#x}"
+    if fmt is Fmt.REL:
+        if address is not None:
+            target = address + insn.length + insn.imm
+            return f"{mnemonic} {target:#x}"
+        return f"{mnemonic} {insn.imm:+#x}"
+    # REG_REG_IMM
+    displacement = insn.imm
+    if displacement >= 0x80000000:
+        displacement -= 0x100000000
+    sign = "+" if displacement >= 0 else "-"
+    mem = f"[{_reg(insn.rs)}{sign}{abs(displacement):#x}]"
+    if insn.op in (Op.ST8, Op.ST16, Op.ST32):
+        mem = f"[{_reg(insn.rd)}{sign}{abs(displacement):#x}]"
+        return f"{mnemonic} {mem}, {_reg(insn.rs)}"
+    return f"{mnemonic} {_reg(insn.rd)}, {mem}"
+
+
+def disassemble(code: bytes, base: int = 0, *, stop_on_error: bool = False) -> list[str]:
+    """Disassemble ``code`` linearly, returning one formatted line per instruction.
+
+    Unknown bytes are rendered as ``.byte`` lines unless ``stop_on_error``.
+    """
+    lines: list[str] = []
+    offset = 0
+    while offset < len(code):
+        address = base + offset
+        try:
+            insn = decode(code, offset)
+        except InvalidInstructionError:
+            if stop_on_error:
+                raise
+            lines.append(f"{address:08x}:  .byte {code[offset]:#04x}")
+            offset += 1
+            continue
+        lines.append(f"{address:08x}:  {format_instruction(insn, address)}")
+        offset += insn.length
+    return lines

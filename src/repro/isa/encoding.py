@@ -1,0 +1,178 @@
+"""Binary encoding and decoding of VXA-32 instructions.
+
+The encoding is deliberately variable-length (1, 2, 3, 6 or 7 bytes
+depending on operand format).  This mirrors the x86 property that makes
+load-time code scanning unsound: a byte offset inside a legitimate
+instruction can itself decode as a different, possibly unsafe instruction,
+so the VM must scan code dynamically along actual execution paths
+(paper section 4.2).
+
+Layouts (little endian immediates):
+
+====================  =======================================
+format                bytes
+====================  =======================================
+``NONE``              ``[op]``
+``REG``               ``[op][reg]``
+``REG_REG``           ``[op][rd<<4 | rs]``
+``REG_IMM``           ``[op][reg][imm32]``
+``REG_REG_IMM``       ``[op][rd<<4 | rs][imm32]``
+``REL``               ``[op][rel32]``
+====================  =======================================
+"""
+
+from __future__ import annotations
+
+import struct
+from dataclasses import dataclass
+
+from repro.errors import InvalidInstructionError
+from repro.isa.opcodes import Fmt, Op, OPCODES, NUM_REGISTERS
+
+_U32 = struct.Struct("<I")
+
+#: Maximum encoded instruction length in bytes.
+MAX_INSTRUCTION_LENGTH = 7
+
+
+@dataclass(frozen=True)
+class Instruction:
+    """A decoded VXA-32 instruction.
+
+    Attributes:
+        op: opcode.
+        rd: destination register index (or sole register operand).
+        rs: source register index.
+        imm: immediate / displacement value, always stored as an unsigned
+            32-bit integer; relative branch targets are stored signed.
+        length: encoded length in bytes.
+    """
+
+    op: Op
+    rd: int = 0
+    rs: int = 0
+    imm: int = 0
+    length: int = 1
+
+    @property
+    def info(self):
+        return OPCODES[self.op]
+
+    def __str__(self) -> str:  # pragma: no cover - debugging aid
+        from repro.isa.disassembler import format_instruction
+
+        return format_instruction(self, address=None)
+
+
+def _check_reg(reg: int) -> int:
+    if not 0 <= reg < NUM_REGISTERS:
+        raise InvalidInstructionError(f"register index out of range: {reg}")
+    return reg
+
+
+def _signed32(value: int) -> int:
+    value &= 0xFFFFFFFF
+    return value - 0x100000000 if value >= 0x80000000 else value
+
+
+def encode(op: Op, rd: int = 0, rs: int = 0, imm: int = 0) -> bytes:
+    """Encode a single instruction to bytes.
+
+    ``imm`` may be given as a signed or unsigned 32-bit value.
+    """
+    info = OPCODES.get(op)
+    if info is None:
+        raise InvalidInstructionError(f"unknown opcode: {op!r}")
+    imm32 = imm & 0xFFFFFFFF
+    fmt = info.fmt
+    if fmt is Fmt.NONE:
+        return bytes((op,))
+    if fmt is Fmt.REG:
+        return bytes((op, _check_reg(rd)))
+    if fmt is Fmt.REG_REG:
+        return bytes((op, (_check_reg(rd) << 4) | _check_reg(rs)))
+    if fmt is Fmt.REG_IMM:
+        return bytes((op, _check_reg(rd))) + _U32.pack(imm32)
+    if fmt is Fmt.REG_REG_IMM:
+        return bytes((op, (_check_reg(rd) << 4) | _check_reg(rs))) + _U32.pack(imm32)
+    if fmt is Fmt.REL:
+        return bytes((op,)) + _U32.pack(imm32)
+    raise InvalidInstructionError(f"unhandled format {fmt!r}")  # pragma: no cover
+
+
+def instruction_length(op: Op) -> int:
+    """Return the encoded length in bytes of instructions with opcode ``op``."""
+    fmt = OPCODES[op].fmt
+    if fmt is Fmt.NONE:
+        return 1
+    if fmt is Fmt.REG or fmt is Fmt.REG_REG:
+        return 2
+    if fmt is Fmt.REL:
+        return 5
+    return 6
+
+
+def decode(code: bytes, offset: int = 0) -> Instruction:
+    """Decode one instruction from ``code`` at ``offset``.
+
+    Raises:
+        InvalidInstructionError: if the bytes do not form a valid instruction.
+    """
+    if offset >= len(code):
+        raise InvalidInstructionError(f"decode past end of code at offset {offset}")
+    opbyte = code[offset]
+    try:
+        op = Op(opbyte)
+    except ValueError:
+        raise InvalidInstructionError(
+            f"illegal opcode byte 0x{opbyte:02x} at offset {offset}"
+        ) from None
+    info = OPCODES[op]
+    fmt = info.fmt
+    length = instruction_length(op)
+    if offset + length > len(code):
+        raise InvalidInstructionError(
+            f"truncated instruction {info.mnemonic} at offset {offset}"
+        )
+    if fmt is Fmt.NONE:
+        return Instruction(op, length=1)
+    if fmt is Fmt.REG:
+        reg = code[offset + 1]
+        _check_reg(reg)
+        return Instruction(op, rd=reg, length=2)
+    if fmt is Fmt.REG_REG:
+        packed = code[offset + 1]
+        rd, rs = packed >> 4, packed & 0x0F
+        _check_reg(rd)
+        _check_reg(rs)
+        return Instruction(op, rd=rd, rs=rs, length=2)
+    if fmt is Fmt.REL:
+        imm = _signed32(_U32.unpack_from(code, offset + 1)[0])
+        return Instruction(op, imm=imm, length=5)
+    if fmt is Fmt.REG_IMM:
+        reg = code[offset + 1]
+        _check_reg(reg)
+        imm = _U32.unpack_from(code, offset + 2)[0]
+        return Instruction(op, rd=reg, imm=imm, length=6)
+    # REG_REG_IMM
+    packed = code[offset + 1]
+    rd, rs = packed >> 4, packed & 0x0F
+    _check_reg(rd)
+    _check_reg(rs)
+    imm = _U32.unpack_from(code, offset + 2)[0]
+    return Instruction(op, rd=rd, rs=rs, imm=imm, length=6)
+
+
+def decode_all(code: bytes, start: int = 0, end: int | None = None):
+    """Yield ``(offset, Instruction)`` pairs decoding linearly from ``start``.
+
+    This performs a straight-line sweep and is used by the disassembler and
+    by tests; the VM itself never trusts a linear sweep (see module docstring).
+    """
+    if end is None:
+        end = len(code)
+    offset = start
+    while offset < end:
+        insn = decode(code, offset)
+        yield offset, insn
+        offset += insn.length

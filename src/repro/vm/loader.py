@@ -1,0 +1,88 @@
+"""Load VXA decoder ELF images into a guest sandbox.
+
+Mirrors vx32's loader: the decoder image is copied to its linked virtual
+addresses inside the sandbox, the stack pointer is parked at the top of the
+initial sandbox, and the executable region is recorded so the execution
+engines can refuse to run code outside it (code sandboxing, section 4.2).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.elf.reader import parse_executable
+from repro.elf.structures import ElfImage
+from repro.errors import ElfFormatError
+from repro.vm.memory import DEFAULT_MEMORY_SIZE, GuestMemory
+
+#: Bytes reserved at the top of the sandbox for the guest stack.
+DEFAULT_STACK_SIZE = 256 << 10
+
+#: Extra headroom above the image before the heap would hit the stack.
+_HEAP_HEADROOM = 64 << 10
+
+
+@dataclass
+class LoadedProgram:
+    """Result of loading an executable into guest memory."""
+
+    entry: int
+    stack_top: int
+    brk: int                       # first free address after the image (heap start)
+    text_start: int
+    text_end: int
+
+
+def load_image(
+    image: ElfImage | bytes,
+    memory: GuestMemory,
+    *,
+    stack_size: int = DEFAULT_STACK_SIZE,
+) -> LoadedProgram:
+    """Copy ``image`` into ``memory`` and return the initial machine state.
+
+    Args:
+        image: a parsed :class:`ElfImage` or raw ELF bytes.
+        memory: the sandbox to populate; grown if the image needs more room.
+        stack_size: bytes to reserve for the guest stack at the top of memory.
+
+    Raises:
+        ElfFormatError: if the image does not fit its declared constraints.
+    """
+    if isinstance(image, (bytes, bytearray)):
+        image = parse_executable(bytes(image))
+
+    load_size = image.load_size
+    needed = load_size + _HEAP_HEADROOM + stack_size
+    if needed > memory.size:
+        memory.grow(max(needed, min(memory.limit, DEFAULT_MEMORY_SIZE)))
+    if load_size + stack_size > memory.size:
+        raise ElfFormatError(
+            f"decoder image needs {load_size} bytes plus stack, sandbox is {memory.size}"
+        )
+
+    text_start = None
+    text_end = None
+    for segment in image.segments:
+        memory.write_bytes(segment.vaddr, segment.data)
+        # memsz > filesz space is already zero because sandboxes start zeroed,
+        # but re-zero explicitly in case the memory is being reused.
+        if segment.memsz > len(segment.data):
+            zero_start = segment.vaddr + len(segment.data)
+            memory.write_bytes(zero_start, b"\x00" * (segment.memsz - len(segment.data)))
+        if segment.executable:
+            start, end = segment.vaddr, segment.vaddr + segment.memsz
+            if text_start is None:
+                text_start, text_end = start, end
+            else:
+                text_start = min(text_start, start)
+                text_end = max(text_end, end)
+
+    stack_top = (memory.size - 16) & ~0xF
+    return LoadedProgram(
+        entry=image.entry,
+        stack_top=stack_top,
+        brk=load_size,
+        text_start=text_start or 0,
+        text_end=text_end or 0,
+    )

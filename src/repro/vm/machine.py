@@ -1,0 +1,263 @@
+"""The VXA virtual machine: orchestration of memory, CPU state and engines.
+
+A :class:`VirtualMachine` plays the role the vx32 VMM plays inside vxUnZIP:
+it loads one decoder ELF image into a private sandbox, binds the three
+virtual file handles, runs the decoder with either the dynamic translator
+(default, like vx32) or the reference interpreter, and exposes the paper's
+reuse-vs-reinitialise policy for decoding several streams with one decoder
+(section 2.4).
+"""
+
+from __future__ import annotations
+
+import io
+from dataclasses import dataclass
+
+from repro.elf.reader import parse_executable
+from repro.errors import GuestFault, VxaError
+from repro.vm.interpreter import run_interpreter
+from repro.vm.limits import ExecutionLimits, ExecutionStats
+from repro.vm.loader import load_image
+from repro.vm.memory import CHECK_FULL, DEFAULT_MEMORY_SIZE, GuestMemory
+from repro.vm.syscalls import StreamSet, SyscallHandler
+from repro.vm.translator import run_translator
+
+ENGINE_TRANSLATOR = "translator"
+ENGINE_INTERPRETER = "interpreter"
+
+_ENGINES = {
+    ENGINE_TRANSLATOR: run_translator,
+    ENGINE_INTERPRETER: run_interpreter,
+}
+
+
+@dataclass
+class DecodeResult:
+    """Outcome of running a decoder over one (or more) encoded streams."""
+
+    output: bytes
+    stderr: bytes
+    exit_code: int
+    stats: ExecutionStats
+
+    @property
+    def ok(self) -> bool:
+        return self.exit_code == 0
+
+
+class VirtualMachine:
+    """One sandboxed decoder instance.
+
+    Args:
+        image: ELF bytes (or a parsed image) of the decoder to run.
+        engine: ``"translator"`` (default) or ``"interpreter"``.
+        memory_size: initial sandbox size in bytes.
+        limits: resource ceilings; defaults to :class:`ExecutionLimits`.
+        check_policy: memory sandbox policy (``full``, ``write-only``,
+            ``none``) -- see :mod:`repro.vm.memory`.
+        use_fragment_cache: disable only for the fragment-cache ablation.
+    """
+
+    def __init__(
+        self,
+        image,
+        *,
+        engine: str = ENGINE_TRANSLATOR,
+        memory_size: int = DEFAULT_MEMORY_SIZE,
+        limits: ExecutionLimits | None = None,
+        check_policy: str = CHECK_FULL,
+        use_fragment_cache: bool = True,
+    ):
+        if engine not in _ENGINES:
+            raise ValueError(f"unknown engine {engine!r}")
+        if isinstance(image, (bytes, bytearray)):
+            image = parse_executable(bytes(image))
+        self._image = image
+        self.engine = engine
+        self._memory_size = memory_size
+        self.limits = limits or ExecutionLimits()
+        self._check_policy = check_policy
+        self.use_fragment_cache = use_fragment_cache
+
+        # Mutable machine state, populated by reset().
+        self.memory: GuestMemory | None = None
+        self.regs: list[int] = [0] * 8
+        self.pc = 0
+        self.cc = (0, 0)
+        self.halted = False
+        self.stats = ExecutionStats()
+        self.syscall_handler: SyscallHandler | None = None
+        self.fragment_cache: dict = {}
+        self.decode_cache: dict = {}
+        self.text_start = 0
+        self.text_end = 0
+        self.reset()
+
+    # -- lifecycle -----------------------------------------------------------
+
+    def reset(self) -> None:
+        """Re-initialise the VM with a pristine copy of the decoder image.
+
+        This is the paper's safe default between files whose security
+        attributes differ: any state a previous stream may have left in the
+        sandbox is destroyed.
+        """
+        self.memory = GuestMemory(
+            self._memory_size,
+            limit=self.limits.max_memory_bytes,
+            check_policy=self._check_policy,
+        )
+        loaded = load_image(self._image, self.memory)
+        self.regs = [0] * 8
+        self.regs[7] = loaded.stack_top
+        self.pc = loaded.entry
+        self.cc = (0, 0)
+        self.halted = False
+        self.text_start = loaded.text_start
+        self.text_end = loaded.text_end
+        self.fragment_cache = {}
+        self.decode_cache = {}
+        self.syscall_handler = None
+
+    def _restart(self) -> None:
+        """Reset only the CPU state, preserving memory and translated code.
+
+        Used when the same decoder instance is reused across streams via the
+        ``done`` protocol is *not* in effect but the caller still wants to
+        reuse translations (see :meth:`decode` with ``reuse=True``).
+        """
+        loaded_entry = self._image.entry
+        self.regs = [0] * 8
+        self.regs[7] = (self.memory.size - 16) & ~0xF
+        self.pc = loaded_entry
+        self.cc = (0, 0)
+        self.halted = False
+
+    # -- execution ------------------------------------------------------------
+
+    def attach_streams(self, streams: StreamSet, on_done=None,
+                       limits: ExecutionLimits | None = None) -> None:
+        """Bind stdin/stdout/stderr for the next run."""
+        self.stats = ExecutionStats()
+        self.syscall_handler = SyscallHandler(
+            self.memory,
+            limits or self.limits,
+            self.stats,
+            streams,
+            on_done=on_done,
+        )
+
+    def run(self) -> int:
+        """Run the guest until it exits, halts or faults.
+
+        Returns the guest exit code.  Guest faults propagate as
+        :class:`~repro.errors.GuestFault` subclasses; the host and the VM
+        object remain usable (call :meth:`reset` to reuse it).
+        """
+        if self.syscall_handler is None:
+            raise VxaError("attach_streams() must be called before run()")
+        self._active_limits = self.syscall_handler._limits
+        engine = _ENGINES[self.engine]
+        engine(self)
+        code = self.syscall_handler.exit_code
+        return 0 if code is None else code
+
+    @property
+    def limits_in_effect(self) -> ExecutionLimits:
+        return getattr(self, "_active_limits", self.limits)
+
+    # -- high-level decoding API -----------------------------------------------
+
+    def decode(
+        self,
+        encoded: bytes,
+        *,
+        limits: ExecutionLimits | None = None,
+        fresh: bool = True,
+    ) -> DecodeResult:
+        """Decode one encoded stream and return the decoder's output.
+
+        Args:
+            encoded: the encoded input supplied on the decoder's stdin.
+            limits: per-run resource limits (default: limits scaled to the
+                input size).
+            fresh: when true (the safe default), the sandbox is re-initialised
+                before decoding; when false, the existing sandbox and fragment
+                cache are reused (faster, see section 2.4 for the trade-off).
+        """
+        if fresh:
+            self.reset()
+        else:
+            self._restart()
+        run_limits = limits or self.limits.scaled_for_input(len(encoded))
+        streams = StreamSet.from_bytes(encoded)
+        self.attach_streams(streams, limits=run_limits)
+        exit_code = self.run()
+        return DecodeResult(
+            output=streams.stdout.getvalue(),
+            stderr=streams.stderr.getvalue(),
+            exit_code=exit_code,
+            stats=self.stats,
+        )
+
+    def decode_many(
+        self,
+        encoded_streams: list[bytes],
+        *,
+        limits: ExecutionLimits | None = None,
+    ) -> list[DecodeResult]:
+        """Decode several streams with one VM instance using the ``done`` protocol.
+
+        The decoder signals completion of each stream with the ``done``
+        virtual system call; the host swaps in the next input stream without
+        re-loading the decoder.  This is the paper's state-reuse optimisation
+        for archives with many files sharing one decoder.
+        """
+        if not encoded_streams:
+            return []
+        results: list[DecodeResult] = []
+        total_size = sum(len(stream) for stream in encoded_streams)
+        run_limits = limits or self.limits.scaled_for_input(total_size)
+        self.reset()
+
+        state = {"index": 0}
+        current = StreamSet.from_bytes(encoded_streams[0])
+
+        def on_done() -> bool:
+            handler = self.syscall_handler
+            results.append(
+                DecodeResult(
+                    output=handler.streams.stdout.getvalue(),
+                    stderr=handler.streams.stderr.getvalue(),
+                    exit_code=0,
+                    stats=self.stats,
+                )
+            )
+            state["index"] += 1
+            if state["index"] >= len(encoded_streams):
+                return False
+            handler.streams = StreamSet.from_bytes(encoded_streams[state["index"]])
+            return True
+
+        self.attach_streams(current, on_done=on_done, limits=run_limits)
+        exit_code = self.run()
+        # If the decoder exited without calling done for the final stream
+        # (legacy single-stream decoders), collect its output here.
+        if len(results) < len(encoded_streams) and state["index"] < len(encoded_streams):
+            handler = self.syscall_handler
+            results.append(
+                DecodeResult(
+                    output=handler.streams.stdout.getvalue(),
+                    stderr=handler.streams.stderr.getvalue(),
+                    exit_code=exit_code,
+                    stats=self.stats,
+                )
+            )
+        return results
+
+
+def decode_with_image(image: bytes, encoded: bytes, *, engine: str = ENGINE_TRANSLATOR,
+                      limits: ExecutionLimits | None = None) -> DecodeResult:
+    """One-shot helper: load ``image``, decode ``encoded``, return the result."""
+    vm = VirtualMachine(image, engine=engine, limits=limits or ExecutionLimits())
+    return vm.decode(encoded)

@@ -1,0 +1,53 @@
+"""Reporting helpers over :class:`~repro.vm.limits.ExecutionStats`.
+
+Turns raw VM counters into the derived quantities the evaluation section
+talks about: fragment-cache hit rate, instructions per output byte, and
+per-syscall counts.  Used by the benchmark harness and by the examples.
+"""
+
+from __future__ import annotations
+
+from repro.vm.limits import ExecutionStats
+
+
+def cache_hit_rate(stats: ExecutionStats) -> float:
+    """Fraction of executed blocks served from the fragment cache."""
+    total = stats.fragment_cache_hits + stats.fragment_cache_misses
+    if total == 0:
+        return 0.0
+    return stats.fragment_cache_hits / total
+
+
+def instructions_per_output_byte(stats: ExecutionStats) -> float:
+    """Guest decode cost normalised by decoded output size."""
+    if stats.bytes_written == 0:
+        return float("inf") if stats.instructions else 0.0
+    return stats.instructions / stats.bytes_written
+
+
+def summarize(stats: ExecutionStats) -> dict:
+    """Flatten stats into a plain dict suitable for printing or JSON."""
+    return {
+        "instructions": stats.instructions,
+        "blocks_executed": stats.blocks_executed,
+        "fragments_translated": stats.fragments_translated,
+        "fragment_cache_hit_rate": round(cache_hit_rate(stats), 4),
+        "bytes_read": stats.bytes_read,
+        "bytes_written": stats.bytes_written,
+        "instructions_per_output_byte": (
+            round(instructions_per_output_byte(stats), 2)
+            if stats.bytes_written
+            else None
+        ),
+        "streams_decoded": stats.streams_decoded,
+        "syscalls": dict(sorted(stats.syscalls.items())),
+    }
+
+
+def format_report(stats: ExecutionStats, *, title: str = "VM execution report") -> str:
+    """Human-readable multi-line report (used by verbose example output)."""
+    summary = summarize(stats)
+    lines = [title, "-" * len(title)]
+    for key, value in summary.items():
+        lines.append(f"{key:32s} {value}")
+    return "\n".join(lines)

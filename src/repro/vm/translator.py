@@ -1,0 +1,358 @@
+"""Dynamic binary translation engine for the VXA virtual machine.
+
+This is the analogue of vx32's code sandboxing technique (paper section 4.2):
+guest code is never executed directly.  Instead, the first time execution
+reaches a guest address the translator scans the instruction stream from that
+address to the end of the basic block, emits an equivalent *safe fragment* --
+here a compiled Python function -- and stores it in a fragment cache keyed by
+the guest entry point.  Later executions of the same entry point reuse the
+cached fragment.
+
+Control flow is handled the way the paper describes:
+
+* direct branches end a fragment and hand the (statically known) successor
+  address back to the dispatcher, which looks it up in the cache -- the
+  dispatch loop plays the role of the paper's back-patched branch trampolines,
+* indirect branches (``jmpr``, ``callr``, ``ret``) return a run-time computed
+  address which the dispatcher resolves through the same hash table, exactly
+  like vx32's hash lookup of translated entry points,
+* system-call instructions trap to the host's
+  :class:`~repro.vm.syscalls.SyscallHandler`.
+
+Because the guest ISA is variable-length, the translator only ever decodes
+along realised execution paths; a jump into the middle of an instruction
+simply translates whatever bytes are found there, and anything that does not
+decode raises :class:`~repro.errors.IllegalInstructionFault` -- the guest can
+hurt only itself.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Callable
+
+from repro.errors import (
+    DivisionFault,
+    IllegalInstructionFault,
+    InvalidInstructionError,
+    ResourceLimitExceeded,
+)
+from repro.isa.encoding import decode
+from repro.isa.opcodes import CONDITIONAL_JUMPS, Op
+from repro.vm.syscalls import ACTION_EXIT
+
+#: Maximum number of guest instructions translated into one fragment.
+MAX_FRAGMENT_INSTRUCTIONS = 128
+
+_MASK = 0xFFFFFFFF
+
+
+@dataclass
+class Fragment:
+    """One translated code fragment."""
+
+    entry: int                    # guest address of the first instruction
+    func: Callable                # compiled fragment: (vm, regs, mem) -> next pc
+    instruction_count: int        # guest instructions covered
+    end: int                      # guest address just past the last instruction
+    source: str                   # generated Python source (for inspection/tests)
+
+
+def _signed(value: int) -> int:
+    return value - 0x100000000 if value >= 0x80000000 else value
+
+
+def _signed_division(dividend: int, divisor: int, want_remainder: bool) -> int:
+    """C-style truncating signed division / remainder on 32-bit values."""
+    if divisor == 0:
+        raise DivisionFault("division by zero")
+    dividend_signed = _signed(dividend)
+    divisor_signed = _signed(divisor)
+    quotient = abs(dividend_signed) // abs(divisor_signed)
+    if (dividend_signed < 0) != (divisor_signed < 0):
+        quotient = -quotient
+    if want_remainder:
+        return (dividend_signed - quotient * divisor_signed) & _MASK
+    return quotient & _MASK
+
+
+def _unsigned_division(dividend: int, divisor: int, want_remainder: bool) -> int:
+    if divisor == 0:
+        raise DivisionFault("division by zero")
+    return (dividend % divisor if want_remainder else dividend // divisor) & _MASK
+
+
+#: Globals made available to generated fragment code.
+_FRAGMENT_GLOBALS = {
+    "_sdiv": _signed_division,
+    "_udiv": _unsigned_division,
+    "_signed": _signed,
+    "ACTION_EXIT": ACTION_EXIT,
+}
+
+_CONDITION_EXPR = {
+    Op.JE: "a == b",
+    Op.JNE: "a != b",
+    Op.JLTU: "a < b",
+    Op.JLEU: "a <= b",
+    Op.JGTU: "a > b",
+    Op.JGEU: "a >= b",
+    Op.JLTS: "_signed(a) < _signed(b)",
+    Op.JLES: "_signed(a) <= _signed(b)",
+    Op.JGTS: "_signed(a) > _signed(b)",
+    Op.JGES: "_signed(a) >= _signed(b)",
+}
+
+
+class Translator:
+    """Scans guest code and produces :class:`Fragment` objects."""
+
+    def __init__(self, memory, text_start: int, text_end: int):
+        self._memory = memory
+        self._text_start = text_start
+        self._text_end = text_end
+
+    def translate(self, entry: int) -> Fragment:
+        """Translate the basic block starting at guest address ``entry``."""
+        if not self._text_start <= entry < self._text_end:
+            raise IllegalInstructionFault(
+                f"jump target outside the code segment: 0x{entry:08x}"
+            )
+        code = self._memory.buffer
+        lines: list[str] = [
+            "def _fragment(vm, r, mem):",
+        ]
+        pc = entry
+        count = 0
+        terminated = False
+        while count < MAX_FRAGMENT_INSTRUCTIONS:
+            try:
+                insn = decode(code, pc)
+            except InvalidInstructionError as error:
+                raise IllegalInstructionFault(str(error)) from None
+            if pc + insn.length > self._text_end:
+                raise IllegalInstructionFault(
+                    f"instruction at 0x{pc:08x} straddles the code segment end"
+                )
+            count += 1
+            next_pc = pc + insn.length
+            body, terminated = self._translate_instruction(insn, pc, next_pc)
+            lines.extend("    " + line for line in body)
+            pc = next_pc
+            if terminated:
+                break
+        if not terminated:
+            # Block limit reached mid-stream: fall through to the next address.
+            lines.append(f"    return {pc}")
+        source = "\n".join(lines)
+        namespace = dict(_FRAGMENT_GLOBALS)
+        exec(compile(source, f"<vxa-fragment-0x{entry:x}>", "exec"), namespace)
+        return Fragment(
+            entry=entry,
+            func=namespace["_fragment"],
+            instruction_count=count,
+            end=pc,
+            source=source,
+        )
+
+    # -- per-instruction code generation ------------------------------------
+
+    def _translate_instruction(self, insn, pc: int, next_pc: int):
+        op = insn.op
+        rd = insn.rd
+        rs = insn.rs
+        imm = insn.imm
+        simm = _signed(imm)
+
+        def addr(base_reg, displacement):
+            if displacement == 0:
+                return f"r[{base_reg}]"
+            return f"(r[{base_reg}] + {displacement}) & {_MASK}"
+
+        # Data movement -----------------------------------------------------
+        if op is Op.MOVI:
+            return [f"r[{rd}] = {imm}"], False
+        if op is Op.MOV:
+            return [f"r[{rd}] = r[{rs}]"], False
+        if op is Op.LD32:
+            return [f"r[{rd}] = mem.load32({addr(rs, simm)})"], False
+        if op is Op.LD16U:
+            return [f"r[{rd}] = mem.load16u({addr(rs, simm)})"], False
+        if op is Op.LD8U:
+            return [f"r[{rd}] = mem.load8u({addr(rs, simm)})"], False
+        if op is Op.LD16S:
+            return [f"r[{rd}] = mem.load16s({addr(rs, simm)}) & {_MASK}"], False
+        if op is Op.LD8S:
+            return [f"r[{rd}] = mem.load8s({addr(rs, simm)}) & {_MASK}"], False
+        if op is Op.ST32:
+            return [f"mem.store32({addr(rd, simm)}, r[{rs}])"], False
+        if op is Op.ST16:
+            return [f"mem.store16({addr(rd, simm)}, r[{rs}])"], False
+        if op is Op.ST8:
+            return [f"mem.store8({addr(rd, simm)}, r[{rs}])"], False
+        if op is Op.LEA:
+            return [f"r[{rd}] = {addr(rs, simm)}"], False
+        if op is Op.PUSH:
+            return [
+                f"sp = (r[7] - 4) & {_MASK}",
+                f"mem.store32(sp, r[{rd}])",
+                "r[7] = sp",
+            ], False
+        if op is Op.POP:
+            return [
+                f"r[{rd}] = mem.load32(r[7])",
+                f"r[7] = (r[7] + 4) & {_MASK}",
+            ], False
+
+        # ALU register-register ----------------------------------------------
+        if op is Op.ADD:
+            return [f"r[{rd}] = (r[{rd}] + r[{rs}]) & {_MASK}"], False
+        if op is Op.SUB:
+            return [f"r[{rd}] = (r[{rd}] - r[{rs}]) & {_MASK}"], False
+        if op is Op.MUL:
+            return [f"r[{rd}] = (r[{rd}] * r[{rs}]) & {_MASK}"], False
+        if op is Op.DIVU:
+            return [f"r[{rd}] = _udiv(r[{rd}], r[{rs}], False)"], False
+        if op is Op.REMU:
+            return [f"r[{rd}] = _udiv(r[{rd}], r[{rs}], True)"], False
+        if op is Op.DIVS:
+            return [f"r[{rd}] = _sdiv(r[{rd}], r[{rs}], False)"], False
+        if op is Op.REMS:
+            return [f"r[{rd}] = _sdiv(r[{rd}], r[{rs}], True)"], False
+        if op is Op.AND:
+            return [f"r[{rd}] &= r[{rs}]"], False
+        if op is Op.OR:
+            return [f"r[{rd}] |= r[{rs}]"], False
+        if op is Op.XOR:
+            return [f"r[{rd}] ^= r[{rs}]"], False
+        if op is Op.SHL:
+            return [f"r[{rd}] = (r[{rd}] << (r[{rs}] & 31)) & {_MASK}"], False
+        if op is Op.SHRU:
+            return [f"r[{rd}] >>= (r[{rs}] & 31)"], False
+        if op is Op.SHRS:
+            return [f"r[{rd}] = (_signed(r[{rd}]) >> (r[{rs}] & 31)) & {_MASK}"], False
+        if op is Op.CMP:
+            return [f"vm.cc = (r[{rd}], r[{rs}])"], False
+        if op is Op.NOT:
+            return [f"r[{rd}] = (~r[{rs}]) & {_MASK}"], False
+        if op is Op.NEG:
+            return [f"r[{rd}] = (-r[{rs}]) & {_MASK}"], False
+
+        # ALU register-immediate ----------------------------------------------
+        if op is Op.ADDI:
+            return [f"r[{rd}] = (r[{rd}] + {imm}) & {_MASK}"], False
+        if op is Op.SUBI:
+            return [f"r[{rd}] = (r[{rd}] - {imm}) & {_MASK}"], False
+        if op is Op.MULI:
+            return [f"r[{rd}] = (r[{rd}] * {imm}) & {_MASK}"], False
+        if op is Op.ANDI:
+            return [f"r[{rd}] &= {imm}"], False
+        if op is Op.ORI:
+            return [f"r[{rd}] |= {imm}"], False
+        if op is Op.XORI:
+            return [f"r[{rd}] ^= {imm}"], False
+        if op is Op.SHLI:
+            return [f"r[{rd}] = (r[{rd}] << {imm & 31}) & {_MASK}"], False
+        if op is Op.SHRUI:
+            return [f"r[{rd}] >>= {imm & 31}"], False
+        if op is Op.SHRSI:
+            return [f"r[{rd}] = (_signed(r[{rd}]) >> {imm & 31}) & {_MASK}"], False
+        if op is Op.CMPI:
+            return [f"vm.cc = (r[{rd}], {imm})"], False
+
+        # Control flow ---------------------------------------------------------
+        if op is Op.JMP:
+            return [f"return {(next_pc + simm) & _MASK}"], True
+        if op in CONDITIONAL_JUMPS:
+            target = (next_pc + simm) & _MASK
+            condition = _CONDITION_EXPR[op]
+            return [
+                "a, b = vm.cc",
+                f"if {condition}:",
+                f"    return {target}",
+                f"return {next_pc}",
+            ], True
+        if op is Op.CALL:
+            target = (next_pc + simm) & _MASK
+            return [
+                f"sp = (r[7] - 4) & {_MASK}",
+                f"mem.store32(sp, {next_pc})",
+                "r[7] = sp",
+                f"return {target}",
+            ], True
+        if op is Op.RET:
+            return [
+                "target = mem.load32(r[7])",
+                f"r[7] = (r[7] + 4) & {_MASK}",
+                "return target",
+            ], True
+        if op is Op.JMPR:
+            return [f"return r[{rd}]"], True
+        if op is Op.CALLR:
+            return [
+                f"sp = (r[7] - 4) & {_MASK}",
+                f"mem.store32(sp, {next_pc})",
+                "r[7] = sp",
+                f"return r[{rd}]",
+            ], True
+        if op is Op.VXCALL:
+            return [
+                "res, action = vm.syscall_handler.dispatch(r[0], r[1], r[2], r[3])",
+                f"r[0] = res & {_MASK}",
+                "if action == ACTION_EXIT:",
+                "    vm.halted = True",
+                f"return {next_pc}",
+            ], True
+        if op is Op.HALT:
+            return [
+                "vm.halted = True",
+                "vm.syscall_handler.exit_code = 0",
+                f"return {next_pc}",
+            ], True
+        if op is Op.NOP:
+            return ["pass"], False
+        raise IllegalInstructionFault(f"unhandled opcode {op!r} at 0x{pc:08x}")  # pragma: no cover
+
+
+def run_translator(vm) -> None:
+    """Run ``vm`` until exit/halt/fault using translated fragments."""
+    memory = vm.memory
+    regs = vm.regs
+    stats = vm.stats
+    cache = vm.fragment_cache
+    use_cache = vm.use_fragment_cache
+    limits = vm.limits
+    budget = limits.max_instructions
+    translator = Translator(memory, vm.text_start, vm.text_end)
+
+    executed = 0
+    blocks = 0
+    misses = 0
+    pc = vm.pc
+    try:
+        while not vm.halted:
+            fragment = cache.get(pc) if use_cache else None
+            if fragment is None:
+                if use_cache and len(cache) >= limits.max_fragments:
+                    raise ResourceLimitExceeded(
+                        f"decoder exceeded the translated-fragment limit "
+                        f"({limits.max_fragments})"
+                    )
+                fragment = translator.translate(pc)
+                misses += 1
+                if use_cache:
+                    cache[pc] = fragment
+            executed += fragment.instruction_count
+            if budget is not None and executed > budget:
+                raise ResourceLimitExceeded(
+                    f"decoder exceeded its instruction budget ({budget})"
+                )
+            pc = fragment.func(vm, regs, memory)
+            blocks += 1
+    finally:
+        vm.pc = pc
+        stats.instructions += executed
+        stats.blocks_executed += blocks
+        stats.fragments_translated += misses
+        stats.fragment_cache_misses += misses
+        stats.fragment_cache_hits += blocks - misses if blocks >= misses else 0

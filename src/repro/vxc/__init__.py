@@ -1,0 +1,27 @@
+"""vxc: the small C-like compiler used to build VXA guest decoders."""
+
+from repro.vxc.compiler import (
+    CATEGORY_DECODER,
+    CATEGORY_LIBRARY,
+    CATEGORY_RUNTIME,
+    CompileResult,
+    SourceUnit,
+    compile_source,
+    compile_units,
+)
+from repro.vxc.lexer import tokenize
+from repro.vxc.parser import parse
+from repro.vxc.semantics import analyze
+
+__all__ = [
+    "CATEGORY_DECODER",
+    "CATEGORY_LIBRARY",
+    "CATEGORY_RUNTIME",
+    "CompileResult",
+    "SourceUnit",
+    "compile_source",
+    "compile_units",
+    "tokenize",
+    "parse",
+    "analyze",
+]

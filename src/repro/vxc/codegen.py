@@ -1,0 +1,578 @@
+"""Code generation: vxc AST -> VXA-32 assembly text.
+
+Model
+-----
+
+* all values are 32-bit integers held in memory; expression evaluation uses
+  R0 as the accumulator, R1 as the secondary operand and the guest stack for
+  intermediates, so no value is ever live in a register across a statement,
+* ``/`` and ``%`` are signed (C ``int`` semantics), ``>>`` is a *logical*
+  shift (use the ``asr`` builtin for an arithmetic shift, ``udiv``/``umod``
+  for unsigned division), comparisons are signed,
+* the calling convention pushes arguments right-to-left, so the first
+  argument sits at ``[fp+8]``; the return value is in R0; the caller pops
+  its arguments,
+* globals live in ``.data`` (initialised) or a bss region following it
+  (zero-initialised); ``const int`` scalars fold to immediates,
+* ``_start`` initialises the runtime heap pointer, calls ``main`` and passes
+  its return value to the ``exit`` virtual system call.
+"""
+
+from __future__ import annotations
+
+from repro.errors import VxcSemanticError
+from repro.vxc import ast_nodes as ast
+from repro.vxc.semantics import BUILTINS, GlobalSymbol, LocalSymbol, SemanticInfo
+
+_WORD_BINOPS = {
+    "+": ("add", "addi"),
+    "-": ("sub", "subi"),
+    "*": ("mul", "muli"),
+    "&": ("and", "andi"),
+    "|": ("or", "ori"),
+    "^": ("xor", "xori"),
+    "<<": ("shl", "shli"),
+    ">>": ("shru", "shrui"),
+    "/": ("divs", None),
+    "%": ("rems", None),
+}
+
+_COMPARE_JUMPS = {
+    "==": "je",
+    "!=": "jne",
+    "<": "jlts",
+    "<=": "jles",
+    ">": "jgts",
+    ">=": "jges",
+}
+
+_SYSCALL_NUMBERS = {"exit": 0, "read": 1, "write": 2, "setperm": 3, "done": 4}
+
+_PEEK_INSTRUCTIONS = {
+    "peek8": "ld8u",
+    "peek8s": "ld8s",
+    "peek16": "ld16u",
+    "peek16s": "ld16s",
+    "peek32": "ld32",
+}
+
+_POKE_INSTRUCTIONS = {"poke8": "st8", "poke16": "st16", "poke32": "st32"}
+
+
+def _mem(base: str, offset: int) -> str:
+    if offset >= 0:
+        return f"[{base}+{offset}]"
+    return f"[{base}-{-offset}]"
+
+
+class CodeGenerator:
+    """Generates assembly for one analysed program."""
+
+    def __init__(self, program: ast.Program, info: SemanticInfo):
+        self._program = program
+        self._info = info
+        self._lines: list[str] = []
+        self._label_counter = 0
+        self._string_literals: list[bytes] = []
+        self._loop_stack: list[tuple[str, str]] = []
+        self._current_function: str | None = None
+        self._scopes: list[dict[str, object]] = []
+        # Global placement: name -> address expression usable as an immediate.
+        self._global_address: dict[str, str] = {}
+        self._bss_total = 0
+        self._place_globals()
+
+    # -- public API ------------------------------------------------------------
+
+    def generate(self) -> str:
+        """Return the complete assembly source for the program."""
+        for function in self._program.functions:
+            self._gen_function(function)
+        self._gen_start()
+        self._gen_data_section()
+        return "\n".join(self._lines) + "\n"
+
+    # -- layout ------------------------------------------------------------------
+
+    def _place_globals(self) -> None:
+        bss_offset = 0
+        for symbol in self._info.globals.values():
+            if symbol.const_value is not None:
+                continue
+            if symbol.init_bytes is not None:
+                self._global_address[symbol.name] = f"g_{symbol.name}"
+            else:
+                size = (symbol.size_bytes + 3) & ~3
+                self._global_address[symbol.name] = f"__bss_start+{bss_offset}"
+                bss_offset += size
+        self._bss_total = bss_offset
+
+    # -- emission helpers ------------------------------------------------------------
+
+    def _emit(self, line: str) -> None:
+        self._lines.append("    " + line)
+
+    def _emit_label(self, label: str) -> None:
+        self._lines.append(f"{label}:")
+
+    def _new_label(self, hint: str = "L") -> str:
+        self._label_counter += 1
+        return f".{hint}{self._label_counter}"
+
+    def _error(self, node, message: str):
+        raise VxcSemanticError(f"line {getattr(node, 'line', '?')}: {message}")
+
+    # -- name resolution (scoped) ------------------------------------------------------
+
+    def _lookup(self, name: str):
+        for scope in reversed(self._scopes):
+            if name in scope:
+                return scope[name]
+        return self._info.globals.get(name)
+
+    # -- functions ------------------------------------------------------------------------
+
+    def _gen_function(self, function: ast.FunctionDef) -> None:
+        layout = self._info.functions[function.name]
+        self._current_function = function.name
+        self._epilogue_label = f"fn_{function.name}__end"
+        self._emit_label(f"fn_{function.name}")
+        self._emit("push fp")
+        self._emit("mov fp, sp")
+        if layout.frame_size:
+            self._emit(f"subi sp, {layout.frame_size}")
+        params = {
+            name: ("param", 8 + 4 * index) for index, name in enumerate(layout.params)
+        }
+        self._scopes = [params]
+        self._gen_stmt(function.body, layout)
+        self._emit("movi r0, 0")  # implicit return value for fall-through
+        self._emit_label(self._epilogue_label)
+        self._emit("mov sp, fp")
+        self._emit("pop fp")
+        self._emit("ret")
+        self._scopes = []
+        self._current_function = None
+
+    def _gen_start(self) -> None:
+        self._emit_label("_start")
+        heap_base = f"__bss_start+{self._bss_total}"
+        for heap_global in ("__heap_ptr", "__heap_base"):
+            if heap_global in self._global_address:
+                self._emit(f"movi r4, {self._global_address[heap_global]}")
+                self._emit(f"movi r0, {heap_base}")
+                self._emit("st32 [r4], r0")
+        self._emit("call fn_main")
+        self._emit("mov r1, r0")
+        self._emit("movi r0, 0")
+        self._emit("vxcall")
+
+    def _gen_data_section(self) -> None:
+        self._lines.append(".data")
+        for symbol in self._info.globals.values():
+            if symbol.const_value is not None or symbol.init_bytes is None:
+                continue
+            self._emit_label(f"g_{symbol.name}")
+            self._emit_bytes(symbol.init_bytes)
+        for index, literal in enumerate(self._string_literals):
+            self._emit_label(f"str_{index}")
+            self._emit_bytes(literal + b"\x00")
+        self._emit(".align 4")
+        self._emit_label("__bss_start")
+        if self._bss_total:
+            self._emit(f".bss {self._bss_total}")
+
+    def _emit_bytes(self, data: bytes) -> None:
+        for start in range(0, len(data), 16):
+            chunk = data[start : start + 16]
+            self._emit(".byte " + ", ".join(f"0x{byte:02x}" for byte in chunk))
+
+    # -- statements ------------------------------------------------------------------------
+
+    def _gen_stmt(self, node: ast.Stmt, layout) -> None:
+        if isinstance(node, ast.Block):
+            self._scopes.append({})
+            for statement in node.statements:
+                self._gen_stmt(statement, layout)
+            self._scopes.pop()
+        elif isinstance(node, ast.VarDecl):
+            symbol = layout.locals_by_decl[id(node)]
+            self._scopes[-1][node.name] = symbol
+            if node.initializer is not None:
+                self._gen_expr(node.initializer)
+                self._emit(f"st32 {_mem('fp', symbol.offset)}, r0")
+        elif isinstance(node, ast.ExprStmt):
+            self._gen_expr(node.expr)
+        elif isinstance(node, ast.If):
+            label_then = self._new_label("then")
+            label_else = self._new_label("else")
+            label_end = self._new_label("endif")
+            self._gen_branch(node.cond, label_then, label_else)
+            self._emit_label(label_then)
+            self._gen_stmt(node.then, layout)
+            if node.otherwise is not None:
+                self._emit(f"jmp {label_end}")
+            self._emit_label(label_else)
+            if node.otherwise is not None:
+                self._gen_stmt(node.otherwise, layout)
+                self._emit_label(label_end)
+        elif isinstance(node, ast.While):
+            label_cond = self._new_label("while")
+            label_body = self._new_label("body")
+            label_end = self._new_label("endwhile")
+            self._emit_label(label_cond)
+            self._gen_branch(node.cond, label_body, label_end)
+            self._emit_label(label_body)
+            self._loop_stack.append((label_end, label_cond))
+            self._gen_stmt(node.body, layout)
+            self._loop_stack.pop()
+            self._emit(f"jmp {label_cond}")
+            self._emit_label(label_end)
+        elif isinstance(node, ast.DoWhile):
+            label_body = self._new_label("dobody")
+            label_cond = self._new_label("docond")
+            label_end = self._new_label("enddo")
+            self._emit_label(label_body)
+            self._loop_stack.append((label_end, label_cond))
+            self._gen_stmt(node.body, layout)
+            self._loop_stack.pop()
+            self._emit_label(label_cond)
+            self._gen_branch(node.cond, label_body, label_end)
+            self._emit_label(label_end)
+        elif isinstance(node, ast.For):
+            label_cond = self._new_label("for")
+            label_body = self._new_label("forbody")
+            label_step = self._new_label("forstep")
+            label_end = self._new_label("endfor")
+            self._scopes.append({})
+            if node.init is not None:
+                self._gen_stmt(node.init, layout)
+            self._emit_label(label_cond)
+            if node.cond is not None:
+                self._gen_branch(node.cond, label_body, label_end)
+            self._emit_label(label_body)
+            self._loop_stack.append((label_end, label_step))
+            self._gen_stmt(node.body, layout)
+            self._loop_stack.pop()
+            self._emit_label(label_step)
+            if node.step is not None:
+                self._gen_expr(node.step)
+            self._emit(f"jmp {label_cond}")
+            self._emit_label(label_end)
+            self._scopes.pop()
+        elif isinstance(node, ast.Return):
+            if node.value is not None:
+                self._gen_expr(node.value)
+            else:
+                self._emit("movi r0, 0")
+            self._emit(f"jmp {self._epilogue_label}")
+        elif isinstance(node, ast.Break):
+            self._emit(f"jmp {self._loop_stack[-1][0]}")
+        elif isinstance(node, ast.Continue):
+            self._emit(f"jmp {self._loop_stack[-1][1]}")
+        else:  # pragma: no cover
+            self._error(node, f"cannot generate statement {type(node).__name__}")
+
+    # -- branch-context expressions ------------------------------------------------------
+
+    def _gen_branch(self, cond: ast.Expr, label_true: str, label_false: str) -> None:
+        """Generate code that jumps to ``label_true`` or ``label_false``."""
+        if isinstance(cond, ast.BinaryOp) and cond.op in _COMPARE_JUMPS:
+            self._gen_compare_operands(cond)
+            self._emit(f"{_COMPARE_JUMPS[cond.op]} {label_true}")
+            self._emit(f"jmp {label_false}")
+            return
+        if isinstance(cond, ast.BinaryOp) and cond.op == "&&":
+            label_mid = self._new_label("and")
+            self._gen_branch(cond.left, label_mid, label_false)
+            self._emit_label(label_mid)
+            self._gen_branch(cond.right, label_true, label_false)
+            return
+        if isinstance(cond, ast.BinaryOp) and cond.op == "||":
+            label_mid = self._new_label("or")
+            self._gen_branch(cond.left, label_true, label_mid)
+            self._emit_label(label_mid)
+            self._gen_branch(cond.right, label_true, label_false)
+            return
+        if isinstance(cond, ast.UnaryOp) and cond.op == "!":
+            self._gen_branch(cond.operand, label_false, label_true)
+            return
+        self._gen_expr(cond)
+        self._emit("cmpi r0, 0")
+        self._emit(f"jne {label_true}")
+        self._emit(f"jmp {label_false}")
+
+    def _gen_compare_operands(self, node: ast.BinaryOp) -> None:
+        """Leave comparison operands staged and emit the ``cmp``."""
+        if isinstance(node.right, ast.NumberLiteral):
+            self._gen_expr(node.left)
+            self._emit(f"cmpi r0, {node.right.value & 0xFFFFFFFF}")
+            return
+        self._gen_expr(node.left)
+        self._emit("push r0")
+        self._gen_expr(node.right)
+        self._emit("mov r1, r0")
+        self._emit("pop r0")
+        self._emit("cmp r0, r1")
+
+    # -- value-context expressions ---------------------------------------------------------
+
+    def _gen_expr(self, node: ast.Expr) -> None:
+        """Generate code leaving the expression value in R0."""
+        if isinstance(node, ast.NumberLiteral):
+            self._emit(f"movi r0, {node.value & 0xFFFFFFFF}")
+        elif isinstance(node, ast.StringLiteral):
+            index = len(self._string_literals)
+            self._string_literals.append(node.value)
+            self._emit(f"movi r0, str_{index}")
+        elif isinstance(node, ast.Identifier):
+            self._gen_identifier(node)
+        elif isinstance(node, ast.UnaryOp):
+            self._gen_unary(node)
+        elif isinstance(node, ast.BinaryOp):
+            self._gen_binary(node)
+        elif isinstance(node, ast.Conditional):
+            label_then = self._new_label("ctrue")
+            label_else = self._new_label("cfalse")
+            label_end = self._new_label("cend")
+            self._gen_branch(node.cond, label_then, label_else)
+            self._emit_label(label_then)
+            self._gen_expr(node.then)
+            self._emit(f"jmp {label_end}")
+            self._emit_label(label_else)
+            self._gen_expr(node.otherwise)
+            self._emit_label(label_end)
+        elif isinstance(node, ast.Assignment):
+            self._gen_assignment(node)
+        elif isinstance(node, ast.Index):
+            symbol = self._index_symbol(node)
+            self._gen_element_address(node, symbol)
+            load = "ld8u" if symbol.elem_size == 1 else "ld32"
+            self._emit(f"{load} r0, [r0]")
+        elif isinstance(node, ast.Call):
+            self._gen_call(node)
+        else:  # pragma: no cover
+            self._error(node, f"cannot generate expression {type(node).__name__}")
+
+    def _gen_identifier(self, node: ast.Identifier) -> None:
+        symbol = self._lookup(node.name)
+        if symbol is None:
+            self._error(node, f"undeclared identifier {node.name!r}")
+        if isinstance(symbol, tuple) and symbol[0] == "param":
+            self._emit(f"ld32 r0, {_mem('fp', symbol[1])}")
+        elif isinstance(symbol, LocalSymbol):
+            if symbol.is_array:
+                self._emit(f"lea r0, {_mem('fp', symbol.offset)}")
+            else:
+                self._emit(f"ld32 r0, {_mem('fp', symbol.offset)}")
+        elif isinstance(symbol, GlobalSymbol):
+            if symbol.const_value is not None:
+                self._emit(f"movi r0, {symbol.const_value}")
+            elif symbol.is_array:
+                self._emit(f"movi r0, {self._global_address[symbol.name]}")
+            else:
+                self._emit(f"movi r4, {self._global_address[symbol.name]}")
+                self._emit("ld32 r0, [r4]")
+        else:  # pragma: no cover
+            self._error(node, f"cannot evaluate {node.name!r}")
+
+    def _gen_unary(self, node: ast.UnaryOp) -> None:
+        self._gen_expr(node.operand)
+        if node.op == "-":
+            self._emit("neg r0, r0")
+        elif node.op == "~":
+            self._emit("not r0, r0")
+        elif node.op == "!":
+            label_true = self._new_label("nz")
+            label_end = self._new_label("notend")
+            self._emit("cmpi r0, 0")
+            self._emit(f"jne {label_true}")
+            self._emit("movi r0, 1")
+            self._emit(f"jmp {label_end}")
+            self._emit_label(label_true)
+            self._emit("movi r0, 0")
+            self._emit_label(label_end)
+        else:  # pragma: no cover
+            self._error(node, f"unsupported unary operator {node.op!r}")
+
+    def _gen_binary(self, node: ast.BinaryOp) -> None:
+        if node.op in ("&&", "||"):
+            label_true = self._new_label("btrue")
+            label_false = self._new_label("bfalse")
+            label_end = self._new_label("bend")
+            self._gen_branch(node, label_true, label_false)
+            self._emit_label(label_true)
+            self._emit("movi r0, 1")
+            self._emit(f"jmp {label_end}")
+            self._emit_label(label_false)
+            self._emit("movi r0, 0")
+            self._emit_label(label_end)
+            return
+        if node.op in _COMPARE_JUMPS:
+            label_true = self._new_label("cmpt")
+            label_end = self._new_label("cmpe")
+            self._gen_compare_operands(node)
+            self._emit(f"{_COMPARE_JUMPS[node.op]} {label_true}")
+            self._emit("movi r0, 0")
+            self._emit(f"jmp {label_end}")
+            self._emit_label(label_true)
+            self._emit("movi r0, 1")
+            self._emit_label(label_end)
+            return
+        mnemonic, immediate_form = _WORD_BINOPS[node.op]
+        if immediate_form is not None and isinstance(node.right, ast.NumberLiteral):
+            self._gen_expr(node.left)
+            self._emit(f"{immediate_form} r0, {node.right.value & 0xFFFFFFFF}")
+            return
+        self._gen_expr(node.left)
+        self._emit("push r0")
+        self._gen_expr(node.right)
+        self._emit("mov r1, r0")
+        self._emit("pop r0")
+        self._emit(f"{mnemonic} r0, r1")
+
+    def _apply_binop_from_stack(self, op: str) -> None:
+        """R0 holds the right operand; the left operand is on the stack."""
+        self._emit("mov r1, r0")
+        self._emit("pop r0")
+        mnemonic, _ = _WORD_BINOPS[op]
+        self._emit(f"{mnemonic} r0, r1")
+
+    def _gen_assignment(self, node: ast.Assignment) -> None:
+        target = node.target
+        compound_op = node.op[:-1] if node.op != "=" else None
+        if isinstance(target, ast.Identifier):
+            symbol = self._lookup(target.name)
+            if symbol is None:
+                self._error(target, f"undeclared identifier {target.name!r}")
+            store = self._scalar_store_line(target, symbol)
+            if compound_op is None:
+                self._gen_expr(node.value)
+            else:
+                self._gen_identifier(target)
+                self._emit("push r0")
+                self._gen_expr(node.value)
+                self._apply_binop_from_stack(compound_op)
+            self._emit_scalar_store(store)
+            return
+        # Array element target.
+        symbol = self._index_symbol(target)
+        store = "st8" if symbol.elem_size == 1 else "st32"
+        load = "ld8u" if symbol.elem_size == 1 else "ld32"
+        self._gen_element_address(target, symbol)
+        self._emit("push r0")                       # [address]
+        if compound_op is None:
+            self._gen_expr(node.value)
+        else:
+            self._emit(f"{load} r0, [r0]")
+            self._emit("push r0")                   # [address, old]
+            self._gen_expr(node.value)
+            self._apply_binop_from_stack(compound_op)
+        self._emit("pop r1")                        # address
+        self._emit(f"{store} [r1], r0")
+
+    def _scalar_store_line(self, node: ast.Identifier, symbol):
+        if isinstance(symbol, tuple) and symbol[0] == "param":
+            return ("direct", f"st32 {_mem('fp', symbol[1])}, r0")
+        if isinstance(symbol, LocalSymbol) and not symbol.is_array:
+            return ("direct", f"st32 {_mem('fp', symbol.offset)}, r0")
+        if isinstance(symbol, GlobalSymbol) and not symbol.is_array and not symbol.is_const:
+            return ("global", self._global_address[symbol.name])
+        self._error(node, f"cannot assign to {node.name!r}")
+
+    def _emit_scalar_store(self, store) -> None:
+        kind, payload = store
+        if kind == "direct":
+            self._emit(payload)
+        else:
+            self._emit(f"movi r4, {payload}")
+            self._emit("st32 [r4], r0")
+
+    def _index_symbol(self, node: ast.Index):
+        base = node.base
+        symbol = self._lookup(base.name)
+        if symbol is None or isinstance(symbol, tuple) or not symbol.is_array:
+            self._error(node, f"{base.name!r} is not an array")
+        return symbol
+
+    def _gen_element_address(self, node: ast.Index, symbol) -> None:
+        """Leave the address of ``base[index]`` in R0."""
+        if isinstance(node.index, ast.NumberLiteral):
+            offset = node.index.value * symbol.elem_size
+            if isinstance(symbol, LocalSymbol):
+                self._emit(f"lea r0, {_mem('fp', symbol.offset + offset)}")
+            else:
+                self._emit(f"movi r0, {self._global_address[symbol.name]}")
+                if offset:
+                    self._emit(f"addi r0, {offset}")
+            return
+        self._gen_expr(node.index)
+        if symbol.elem_size == 4:
+            self._emit("shli r0, 2")
+        if isinstance(symbol, LocalSymbol):
+            self._emit(f"lea r4, {_mem('fp', symbol.offset)}")
+        else:
+            self._emit(f"movi r4, {self._global_address[symbol.name]}")
+        self._emit("add r0, r4")
+
+    # -- calls -----------------------------------------------------------------------------
+
+    def _gen_call(self, node: ast.Call) -> None:
+        if node.name in BUILTINS:
+            self._gen_builtin(node)
+            return
+        for argument in reversed(node.args):
+            self._gen_expr(argument)
+            self._emit("push r0")
+        self._emit(f"call fn_{node.name}")
+        if node.args:
+            self._emit(f"addi sp, {4 * len(node.args)}")
+
+    def _gen_builtin(self, node: ast.Call) -> None:
+        name = node.name
+        if name in ("read", "write"):
+            for argument in node.args:
+                self._gen_expr(argument)
+                self._emit("push r0")
+            self._emit("pop r3")
+            self._emit("pop r2")
+            self._emit("pop r1")
+            self._emit(f"movi r0, {_SYSCALL_NUMBERS[name]}")
+            self._emit("vxcall")
+            return
+        if name in ("exit", "setperm"):
+            self._gen_expr(node.args[0])
+            self._emit("mov r1, r0")
+            self._emit(f"movi r0, {_SYSCALL_NUMBERS[name]}")
+            self._emit("vxcall")
+            return
+        if name == "done":
+            self._emit(f"movi r0, {_SYSCALL_NUMBERS[name]}")
+            self._emit("vxcall")
+            return
+        if name in _PEEK_INSTRUCTIONS:
+            self._gen_expr(node.args[0])
+            self._emit(f"{_PEEK_INSTRUCTIONS[name]} r0, [r0]")
+            return
+        if name in _POKE_INSTRUCTIONS:
+            self._gen_expr(node.args[0])
+            self._emit("push r0")
+            self._gen_expr(node.args[1])
+            self._emit("pop r1")
+            self._emit(f"{_POKE_INSTRUCTIONS[name]} [r1], r0")
+            return
+        if name in ("udiv", "umod", "asr"):
+            mnemonic = {"udiv": "divu", "umod": "remu", "asr": "shrs"}[name]
+            self._gen_expr(node.args[0])
+            self._emit("push r0")
+            self._gen_expr(node.args[1])
+            self._emit("mov r1, r0")
+            self._emit("pop r0")
+            self._emit(f"{mnemonic} r0, r1")
+            return
+        self._error(node, f"unknown builtin {name!r}")  # pragma: no cover
+
+
+def generate(program: ast.Program, info: SemanticInfo) -> str:
+    """Generate assembly text for an analysed program."""
+    return CodeGenerator(program, info).generate()

@@ -1,0 +1,203 @@
+"""Lexer for vxc, the small C-like language used to write VXA decoders.
+
+The paper's decoders are existing C libraries compiled with a GCC cross
+toolchain (section 3.3).  vxc plays that role here: decoders are written in a
+familiar, unsafe, integer-only systems language and compiled to VXA-32
+executables, rather than hand-written for an archival VM (the paper's
+critique of Lorie's UVC).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.errors import VxcSyntaxError
+
+KEYWORDS = frozenset(
+    {
+        "int",
+        "byte",
+        "void",
+        "if",
+        "else",
+        "while",
+        "for",
+        "do",
+        "return",
+        "break",
+        "continue",
+        "const",
+    }
+)
+
+#: Multi-character operators, longest first so maximal munch works.
+_OPERATORS = (
+    "<<=",
+    ">>=",
+    "&&",
+    "||",
+    "==",
+    "!=",
+    "<=",
+    ">=",
+    "<<",
+    ">>",
+    "+=",
+    "-=",
+    "*=",
+    "/=",
+    "%=",
+    "&=",
+    "|=",
+    "^=",
+    "++",
+    "--",
+    "+",
+    "-",
+    "*",
+    "/",
+    "%",
+    "&",
+    "|",
+    "^",
+    "~",
+    "!",
+    "<",
+    ">",
+    "=",
+    "(",
+    ")",
+    "{",
+    "}",
+    "[",
+    "]",
+    ",",
+    ";",
+    "?",
+    ":",
+)
+
+
+@dataclass(frozen=True)
+class Token:
+    """One lexical token."""
+
+    kind: str          # "ident", "number", "string", "op", "keyword", "eof"
+    value: str | int
+    line: int
+    column: int
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return f"Token({self.kind}, {self.value!r}, line={self.line})"
+
+
+def tokenize(source: str) -> list[Token]:
+    """Convert vxc source text into a list of tokens (ending with ``eof``)."""
+    tokens: list[Token] = []
+    line = 1
+    column = 1
+    index = 0
+    length = len(source)
+
+    def error(message: str):
+        raise VxcSyntaxError(message, line=line, column=column)
+
+    while index < length:
+        char = source[index]
+        # Whitespace
+        if char == "\n":
+            line += 1
+            column = 1
+            index += 1
+            continue
+        if char in " \t\r":
+            index += 1
+            column += 1
+            continue
+        # Comments
+        if source.startswith("//", index):
+            end = source.find("\n", index)
+            index = length if end < 0 else end
+            continue
+        if source.startswith("/*", index):
+            end = source.find("*/", index + 2)
+            if end < 0:
+                error("unterminated block comment")
+            skipped = source[index : end + 2]
+            line += skipped.count("\n")
+            index = end + 2
+            continue
+        # Identifiers and keywords
+        if char.isalpha() or char == "_":
+            start = index
+            while index < length and (source[index].isalnum() or source[index] == "_"):
+                index += 1
+            word = source[start:index]
+            kind = "keyword" if word in KEYWORDS else "ident"
+            tokens.append(Token(kind, word, line, column))
+            column += index - start
+            continue
+        # Numbers
+        if char.isdigit():
+            start = index
+            if source.startswith("0x", index) or source.startswith("0X", index):
+                index += 2
+                while index < length and source[index] in "0123456789abcdefABCDEF":
+                    index += 1
+                value = int(source[start:index], 16)
+            else:
+                while index < length and source[index].isdigit():
+                    index += 1
+                value = int(source[start:index], 10)
+            tokens.append(Token("number", value, line, column))
+            column += index - start
+            continue
+        # Character constants
+        if char == "'":
+            end = index + 1
+            while end < length and source[end] != "'":
+                if source[end] == "\\":
+                    end += 1
+                end += 1
+            if end >= length:
+                error("unterminated character constant")
+            body = source[index + 1 : end]
+            try:
+                decoded = body.encode().decode("unicode_escape")
+            except UnicodeDecodeError:
+                error(f"bad character constant '{body}'")
+            if len(decoded) != 1:
+                error(f"character constant must be a single character: '{body}'")
+            tokens.append(Token("number", ord(decoded), line, column))
+            column += end + 1 - index
+            index = end + 1
+            continue
+        # String literals
+        if char == '"':
+            end = index + 1
+            while end < length and source[end] != '"':
+                if source[end] == "\\":
+                    end += 1
+                end += 1
+            if end >= length:
+                error("unterminated string literal")
+            body = source[index + 1 : end]
+            try:
+                decoded = body.encode().decode("unicode_escape")
+            except UnicodeDecodeError:
+                error(f"bad string literal: {body!r}")
+            tokens.append(Token("string", decoded, line, column))
+            column += end + 1 - index
+            index = end + 1
+            continue
+        # Operators / punctuation
+        for operator in _OPERATORS:
+            if source.startswith(operator, index):
+                tokens.append(Token("op", operator, line, column))
+                index += len(operator)
+                column += len(operator)
+                break
+        else:
+            error(f"unexpected character {char!r}")
+    tokens.append(Token("eof", "", line, column))
+    return tokens

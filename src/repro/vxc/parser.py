@@ -1,0 +1,443 @@
+"""Recursive-descent parser for vxc.
+
+Grammar (C subset, integers only):
+
+.. code-block:: text
+
+    program      := (global_decl | function_def)*
+    global_decl  := "const"? ("int" | "byte") ident ("[" const_expr? "]")?
+                    ("=" initializer)? ";"
+    initializer  := const_expr | string | "{" const_expr ("," const_expr)* "}"
+    function_def := ("int" | "void") ident "(" params? ")" block
+    params       := "int" ident ("," "int" ident)*
+    block        := "{" statement* "}"
+
+Expressions follow standard C precedence, with ``?:``, ``&&``/``||``
+(short-circuit), bitwise, equality, relational, shift, additive,
+multiplicative, unary and postfix (call, index) levels.
+"""
+
+from __future__ import annotations
+
+from repro.errors import VxcSyntaxError
+from repro.vxc import ast_nodes as ast
+from repro.vxc.lexer import Token, tokenize
+
+_ASSIGN_OPS = {"=", "+=", "-=", "*=", "/=", "%=", "&=", "|=", "^=", "<<=", ">>="}
+
+
+class Parser:
+    """Parses a token stream into a :class:`~repro.vxc.ast_nodes.Program`."""
+
+    def __init__(self, tokens: list[Token]):
+        self._tokens = tokens
+        self._position = 0
+
+    # -- token helpers -------------------------------------------------------
+
+    @property
+    def _current(self) -> Token:
+        return self._tokens[self._position]
+
+    def _error(self, message: str):
+        token = self._current
+        raise VxcSyntaxError(message, line=token.line, column=token.column)
+
+    def _advance(self) -> Token:
+        token = self._current
+        if token.kind != "eof":
+            self._position += 1
+        return token
+
+    def _check(self, kind: str, value=None) -> bool:
+        token = self._current
+        if token.kind != kind:
+            return False
+        return value is None or token.value == value
+
+    def _accept(self, kind: str, value=None) -> Token | None:
+        if self._check(kind, value):
+            return self._advance()
+        return None
+
+    def _expect(self, kind: str, value=None) -> Token:
+        if not self._check(kind, value):
+            expectation = value if value is not None else kind
+            self._error(f"expected {expectation!r}, found {self._current.value!r}")
+        return self._advance()
+
+    # -- program structure ------------------------------------------------------
+
+    def parse_program(self) -> ast.Program:
+        program = ast.Program()
+        while not self._check("eof"):
+            is_const = bool(self._accept("keyword", "const"))
+            type_token = self._current
+            if not (self._check("keyword", "int") or self._check("keyword", "byte")
+                    or self._check("keyword", "void")):
+                self._error("expected a declaration ('int', 'byte' or 'void')")
+            self._advance()
+            elem_kind = type_token.value
+            name_token = self._expect("ident")
+            if self._check("op", "(") and elem_kind != "byte":
+                if is_const:
+                    self._error("functions cannot be declared const")
+                program.functions.append(
+                    self._parse_function(name_token, returns_value=elem_kind == "int")
+                )
+            else:
+                if elem_kind == "void":
+                    self._error("global variables cannot be void")
+                program.globals.append(
+                    self._parse_global(name_token, elem_kind, is_const)
+                )
+        return program
+
+    def _parse_global(self, name_token: Token, elem_kind: str, is_const: bool) -> ast.GlobalDecl:
+        array_length: int | None = None
+        if self._accept("op", "["):
+            if self._check("op", "]"):
+                array_length = -1  # inferred from the initializer
+            else:
+                array_length = self._parse_const_expr()
+            self._expect("op", "]")
+        initializer = None
+        if self._accept("op", "="):
+            initializer = self._parse_global_initializer(elem_kind)
+        self._expect("op", ";")
+        if array_length == -1:
+            if initializer is None:
+                self._error(f"array {name_token.value!r} needs a length or initializer")
+            array_length = len(initializer)
+        return ast.GlobalDecl(
+            name=name_token.value,
+            elem_kind=elem_kind,
+            array_length=array_length,
+            initializer=initializer,
+            is_const=is_const,
+            line=name_token.line,
+        )
+
+    def _parse_global_initializer(self, elem_kind: str):
+        if self._check("string"):
+            token = self._advance()
+            if elem_kind != "byte":
+                self._error("string initializers are only valid for byte arrays")
+            return token.value.encode("latin-1") + b"\x00"
+        if self._accept("op", "{"):
+            values = []
+            while not self._check("op", "}"):
+                values.append(self._parse_const_expr())
+                if not self._accept("op", ","):
+                    break
+            self._expect("op", "}")
+            return values
+        return self._parse_const_expr()
+
+    def _parse_const_expr(self) -> int:
+        expression = self._parse_conditional()
+        value = _fold_constant(expression)
+        if value is None:
+            self._error("expected a compile-time constant expression")
+        return value
+
+    def _parse_function(self, name_token: Token, returns_value: bool) -> ast.FunctionDef:
+        self._expect("op", "(")
+        params: list[ast.Param] = []
+        if not self._check("op", ")"):
+            while True:
+                if self._accept("keyword", "void") and self._check("op", ")"):
+                    break
+                self._expect("keyword", "int")
+                param_name = self._expect("ident")
+                params.append(ast.Param(name=param_name.value, line=param_name.line))
+                if not self._accept("op", ","):
+                    break
+        self._expect("op", ")")
+        body = self._parse_block()
+        return ast.FunctionDef(
+            name=name_token.value,
+            params=params,
+            body=body,
+            line=name_token.line,
+            returns_value=returns_value,
+        )
+
+    # -- statements ----------------------------------------------------------------
+
+    def _parse_block(self) -> ast.Block:
+        open_token = self._expect("op", "{")
+        statements: list[ast.Stmt] = []
+        while not self._check("op", "}"):
+            if self._check("eof"):
+                self._error("unterminated block")
+            statements.append(self._parse_statement())
+        self._expect("op", "}")
+        return ast.Block(line=open_token.line, statements=statements)
+
+    def _parse_statement(self) -> ast.Stmt:
+        token = self._current
+        if self._check("op", "{"):
+            return self._parse_block()
+        if self._check("keyword", "int") or self._check("keyword", "byte"):
+            return self._parse_local_decl()
+        if self._accept("keyword", "if"):
+            self._expect("op", "(")
+            cond = self._parse_expression()
+            self._expect("op", ")")
+            then = self._parse_statement()
+            otherwise = None
+            if self._accept("keyword", "else"):
+                otherwise = self._parse_statement()
+            return ast.If(line=token.line, cond=cond, then=then, otherwise=otherwise)
+        if self._accept("keyword", "while"):
+            self._expect("op", "(")
+            cond = self._parse_expression()
+            self._expect("op", ")")
+            body = self._parse_statement()
+            return ast.While(line=token.line, cond=cond, body=body)
+        if self._accept("keyword", "do"):
+            body = self._parse_statement()
+            self._expect("keyword", "while")
+            self._expect("op", "(")
+            cond = self._parse_expression()
+            self._expect("op", ")")
+            self._expect("op", ";")
+            return ast.DoWhile(line=token.line, cond=cond, body=body)
+        if self._accept("keyword", "for"):
+            self._expect("op", "(")
+            init = None
+            if not self._check("op", ";"):
+                if self._check("keyword", "int") or self._check("keyword", "byte"):
+                    init = self._parse_local_decl()
+                else:
+                    init = ast.ExprStmt(line=token.line, expr=self._parse_expression())
+                    self._expect("op", ";")
+            else:
+                self._expect("op", ";")
+            cond = None
+            if not self._check("op", ";"):
+                cond = self._parse_expression()
+            self._expect("op", ";")
+            step = None
+            if not self._check("op", ")"):
+                step = self._parse_expression()
+            self._expect("op", ")")
+            body = self._parse_statement()
+            return ast.For(line=token.line, init=init, cond=cond, step=step, body=body)
+        if self._accept("keyword", "return"):
+            value = None
+            if not self._check("op", ";"):
+                value = self._parse_expression()
+            self._expect("op", ";")
+            return ast.Return(line=token.line, value=value)
+        if self._accept("keyword", "break"):
+            self._expect("op", ";")
+            return ast.Break(line=token.line)
+        if self._accept("keyword", "continue"):
+            self._expect("op", ";")
+            return ast.Continue(line=token.line)
+        if self._accept("op", ";"):
+            return ast.Block(line=token.line, statements=[])
+        expression = self._parse_expression()
+        self._expect("op", ";")
+        return ast.ExprStmt(line=token.line, expr=expression)
+
+    def _parse_local_decl(self) -> ast.Stmt:
+        type_token = self._advance()
+        elem_kind = type_token.value
+        declarations: list[ast.Stmt] = []
+        while True:
+            name_token = self._expect("ident")
+            array_length = None
+            if self._accept("op", "["):
+                array_length = self._parse_const_expr()
+                self._expect("op", "]")
+            initializer = None
+            if self._accept("op", "="):
+                initializer = self._parse_assignment()
+            declarations.append(
+                ast.VarDecl(
+                    line=name_token.line,
+                    name=name_token.value,
+                    elem_kind=elem_kind,
+                    array_length=array_length,
+                    initializer=initializer,
+                )
+            )
+            if not self._accept("op", ","):
+                break
+        self._expect("op", ";")
+        if len(declarations) == 1:
+            return declarations[0]
+        return ast.Block(line=type_token.line, statements=declarations)
+
+    # -- expressions -------------------------------------------------------------
+
+    def _parse_expression(self) -> ast.Expr:
+        return self._parse_assignment()
+
+    def _parse_assignment(self) -> ast.Expr:
+        left = self._parse_conditional()
+        if self._current.kind == "op" and self._current.value in _ASSIGN_OPS:
+            op_token = self._advance()
+            value = self._parse_assignment()
+            if not isinstance(left, (ast.Identifier, ast.Index)):
+                self._error("assignment target must be a variable or array element")
+            return ast.Assignment(line=op_token.line, op=op_token.value,
+                                  target=left, value=value)
+        return left
+
+    def _parse_conditional(self) -> ast.Expr:
+        cond = self._parse_logical_or()
+        if self._accept("op", "?"):
+            then = self._parse_assignment()
+            self._expect("op", ":")
+            otherwise = self._parse_conditional()
+            return ast.Conditional(line=cond.line, cond=cond, then=then, otherwise=otherwise)
+        return cond
+
+    def _parse_binary_level(self, sub_parser, operators):
+        left = sub_parser()
+        while self._current.kind == "op" and self._current.value in operators:
+            op_token = self._advance()
+            right = sub_parser()
+            left = ast.BinaryOp(line=op_token.line, op=op_token.value, left=left, right=right)
+        return left
+
+    def _parse_logical_or(self):
+        return self._parse_binary_level(self._parse_logical_and, ("||",))
+
+    def _parse_logical_and(self):
+        return self._parse_binary_level(self._parse_bit_or, ("&&",))
+
+    def _parse_bit_or(self):
+        return self._parse_binary_level(self._parse_bit_xor, ("|",))
+
+    def _parse_bit_xor(self):
+        return self._parse_binary_level(self._parse_bit_and, ("^",))
+
+    def _parse_bit_and(self):
+        return self._parse_binary_level(self._parse_equality, ("&",))
+
+    def _parse_equality(self):
+        return self._parse_binary_level(self._parse_relational, ("==", "!="))
+
+    def _parse_relational(self):
+        return self._parse_binary_level(self._parse_shift, ("<", "<=", ">", ">="))
+
+    def _parse_shift(self):
+        return self._parse_binary_level(self._parse_additive, ("<<", ">>"))
+
+    def _parse_additive(self):
+        return self._parse_binary_level(self._parse_multiplicative, ("+", "-"))
+
+    def _parse_multiplicative(self):
+        return self._parse_binary_level(self._parse_unary, ("*", "/", "%"))
+
+    def _parse_unary(self) -> ast.Expr:
+        token = self._current
+        if token.kind == "op" and token.value in ("-", "~", "!", "+"):
+            self._advance()
+            operand = self._parse_unary()
+            if token.value == "+":
+                return operand
+            return ast.UnaryOp(line=token.line, op=token.value, operand=operand)
+        if token.kind == "op" and token.value in ("++", "--"):
+            self._advance()
+            operand = self._parse_unary()
+            if not isinstance(operand, (ast.Identifier, ast.Index)):
+                self._error("++/-- target must be a variable or array element")
+            return ast.Assignment(
+                line=token.line,
+                op="+=" if token.value == "++" else "-=",
+                target=operand,
+                value=ast.NumberLiteral(line=token.line, value=1),
+            )
+        return self._parse_postfix()
+
+    def _parse_postfix(self) -> ast.Expr:
+        expression = self._parse_primary()
+        while True:
+            if self._check("op", "["):
+                self._advance()
+                index = self._parse_expression()
+                self._expect("op", "]")
+                expression = ast.Index(line=expression.line, base=expression, index=index)
+            elif self._check("op", "(") and isinstance(expression, ast.Identifier):
+                self._advance()
+                args: list[ast.Expr] = []
+                if not self._check("op", ")"):
+                    while True:
+                        args.append(self._parse_assignment())
+                        if not self._accept("op", ","):
+                            break
+                self._expect("op", ")")
+                expression = ast.Call(line=expression.line, name=expression.name, args=args)
+            else:
+                return expression
+
+    def _parse_primary(self) -> ast.Expr:
+        token = self._current
+        if token.kind == "number":
+            self._advance()
+            return ast.NumberLiteral(line=token.line, value=token.value)
+        if token.kind == "string":
+            self._advance()
+            return ast.StringLiteral(line=token.line, value=token.value.encode("latin-1"))
+        if token.kind == "ident":
+            self._advance()
+            return ast.Identifier(line=token.line, name=token.value)
+        if self._accept("op", "("):
+            expression = self._parse_expression()
+            self._expect("op", ")")
+            return expression
+        self._error(f"unexpected token {token.value!r}")
+
+
+def _fold_constant(expression: ast.Expr) -> int | None:
+    """Evaluate constant expressions at parse time (for sizes and initializers)."""
+    if isinstance(expression, ast.NumberLiteral):
+        return expression.value
+    if isinstance(expression, ast.UnaryOp):
+        value = _fold_constant(expression.operand)
+        if value is None:
+            return None
+        if expression.op == "-":
+            return -value
+        if expression.op == "~":
+            return ~value
+        if expression.op == "!":
+            return 0 if value else 1
+    if isinstance(expression, ast.BinaryOp):
+        left = _fold_constant(expression.left)
+        right = _fold_constant(expression.right)
+        if left is None or right is None:
+            return None
+        try:
+            return {
+                "+": lambda: left + right,
+                "-": lambda: left - right,
+                "*": lambda: left * right,
+                "/": lambda: int(left / right) if right else None,
+                "%": lambda: left - int(left / right) * right if right else None,
+                "&": lambda: left & right,
+                "|": lambda: left | right,
+                "^": lambda: left ^ right,
+                "<<": lambda: left << right,
+                ">>": lambda: left >> right,
+                "==": lambda: int(left == right),
+                "!=": lambda: int(left != right),
+                "<": lambda: int(left < right),
+                "<=": lambda: int(left <= right),
+                ">": lambda: int(left > right),
+                ">=": lambda: int(left >= right),
+            }[expression.op]()
+        except KeyError:
+            return None
+    return None
+
+
+def parse(source: str) -> ast.Program:
+    """Parse vxc ``source`` into an AST."""
+    return Parser(tokenize(source)).parse_program()

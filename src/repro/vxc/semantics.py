@@ -1,0 +1,416 @@
+"""Semantic analysis for vxc programs.
+
+Performs the checks and pre-computations the code generator relies on:
+
+* duplicate global / function detection,
+* call arity checking (user functions and builtins),
+* ``break`` / ``continue`` placement,
+* assignment-target validation (no assigning to arrays, constants or
+  functions),
+* array subscript validation (only declared arrays are indexable; raw
+  addresses must use the ``peek``/``poke`` builtins),
+* frame layout: every local declaration in a function is assigned a distinct
+  frame-pointer-relative slot.
+
+The results are returned as a :class:`SemanticInfo` object consumed by
+:mod:`repro.vxc.codegen`.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.errors import VxcSemanticError
+from repro.vxc import ast_nodes as ast
+
+#: Builtin functions: name -> (argument count, description).
+BUILTINS = {
+    # virtual system calls (paper section 4.3)
+    "read": 3,
+    "write": 3,
+    "exit": 1,
+    "setperm": 1,
+    "done": 0,
+    # raw memory access (byte-addressed, for buffers passed by address)
+    "peek8": 1,
+    "peek8s": 1,
+    "peek16": 1,
+    "peek16s": 1,
+    "peek32": 1,
+    "poke8": 2,
+    "poke16": 2,
+    "poke32": 2,
+    # explicit unsigned / arithmetic variants of operators
+    "udiv": 2,
+    "umod": 2,
+    "asr": 2,
+}
+
+_ELEM_SIZES = {"int": 4, "byte": 1}
+
+
+@dataclass
+class GlobalSymbol:
+    """A global variable placed in the data or bss section."""
+
+    name: str
+    elem_kind: str
+    elem_size: int
+    length: int | None            # None for scalars
+    is_const: bool
+    init_bytes: bytes | None      # None -> zero-initialised (bss)
+    const_value: int | None = None  # set for const scalars folded to immediates
+
+    @property
+    def is_array(self) -> bool:
+        return self.length is not None
+
+    @property
+    def size_bytes(self) -> int:
+        count = self.length if self.length is not None else 1
+        return count * self.elem_size if self.is_array else 4
+
+
+@dataclass
+class LocalSymbol:
+    """A local variable or array with an assigned frame slot."""
+
+    name: str
+    elem_kind: str
+    elem_size: int
+    length: int | None
+    offset: int                   # negative offset from the frame pointer
+
+    @property
+    def is_array(self) -> bool:
+        return self.length is not None
+
+
+@dataclass
+class FunctionInfo:
+    """Per-function layout information."""
+
+    name: str
+    params: list[str]
+    frame_size: int = 0
+    locals_by_decl: dict[int, LocalSymbol] = field(default_factory=dict)
+
+
+@dataclass
+class SemanticInfo:
+    """Everything the code generator needs beyond the AST itself."""
+
+    globals: dict[str, GlobalSymbol] = field(default_factory=dict)
+    functions: dict[str, FunctionInfo] = field(default_factory=dict)
+
+
+def analyze(program: ast.Program) -> SemanticInfo:
+    """Validate ``program`` and compute layouts.
+
+    Raises:
+        VxcSemanticError: on any semantic violation.
+    """
+    info = SemanticInfo()
+    _collect_globals(program, info)
+    _collect_functions(program, info)
+    for function in program.functions:
+        _check_function(function, info)
+    if "main" not in info.functions:
+        raise VxcSemanticError("program has no 'main' function")
+    if info.functions["main"].params:
+        raise VxcSemanticError("'main' must take no parameters")
+    return info
+
+
+# -- globals ---------------------------------------------------------------------
+
+def _collect_globals(program: ast.Program, info: SemanticInfo) -> None:
+    for declaration in program.globals:
+        if declaration.name in info.globals:
+            raise VxcSemanticError(
+                f"line {declaration.line}: duplicate global {declaration.name!r}"
+            )
+        elem_size = _ELEM_SIZES[declaration.elem_kind]
+        length = declaration.array_length
+        if length is not None and length <= 0:
+            raise VxcSemanticError(
+                f"line {declaration.line}: array {declaration.name!r} must have "
+                "a positive length"
+            )
+        init_bytes = _encode_initializer(declaration, elem_size, length)
+        const_value = None
+        if (
+            declaration.is_const
+            and length is None
+            and isinstance(declaration.initializer, int)
+        ):
+            const_value = declaration.initializer & 0xFFFFFFFF
+        info.globals[declaration.name] = GlobalSymbol(
+            name=declaration.name,
+            elem_kind=declaration.elem_kind,
+            elem_size=elem_size,
+            length=length,
+            is_const=declaration.is_const,
+            init_bytes=init_bytes,
+            const_value=const_value,
+        )
+
+
+def _encode_initializer(declaration: ast.GlobalDecl, elem_size: int,
+                        length: int | None) -> bytes | None:
+    initializer = declaration.initializer
+    if initializer is None:
+        return None
+    if isinstance(initializer, bytes):
+        if length is None:
+            raise VxcSemanticError(
+                f"line {declaration.line}: string initializer requires an array"
+            )
+        data = initializer
+    elif isinstance(initializer, list):
+        if length is None:
+            raise VxcSemanticError(
+                f"line {declaration.line}: brace initializer requires an array"
+            )
+        data = b"".join(
+            (value & (0xFF if elem_size == 1 else 0xFFFFFFFF)).to_bytes(
+                elem_size, "little"
+            )
+            for value in initializer
+        )
+    else:  # scalar integer
+        if length is not None:
+            data = (initializer & 0xFFFFFFFF).to_bytes(4, "little")
+        else:
+            data = (initializer & 0xFFFFFFFF).to_bytes(4, "little")
+    expected = (length if length is not None else 1) * elem_size
+    if len(data) > expected:
+        raise VxcSemanticError(
+            f"line {declaration.line}: initializer for {declaration.name!r} has "
+            f"{len(data)} bytes but the array holds {expected}"
+        )
+    return data + b"\x00" * (expected - len(data))
+
+
+# -- functions ---------------------------------------------------------------------
+
+def _collect_functions(program: ast.Program, info: SemanticInfo) -> None:
+    for function in program.functions:
+        if function.name in info.functions:
+            raise VxcSemanticError(
+                f"line {function.line}: duplicate function {function.name!r}"
+            )
+        if function.name in BUILTINS:
+            raise VxcSemanticError(
+                f"line {function.line}: {function.name!r} is a builtin and cannot "
+                "be redefined"
+            )
+        if function.name in info.globals:
+            raise VxcSemanticError(
+                f"line {function.line}: {function.name!r} already declared as a global"
+            )
+        seen_params = set()
+        for param in function.params:
+            if param.name in seen_params:
+                raise VxcSemanticError(
+                    f"line {param.line}: duplicate parameter {param.name!r}"
+                )
+            seen_params.add(param.name)
+        info.functions[function.name] = FunctionInfo(
+            name=function.name,
+            params=[param.name for param in function.params],
+        )
+
+
+class _FunctionChecker:
+    """Walks one function body: scoping, arity, loop placement, frame layout."""
+
+    def __init__(self, function: ast.FunctionDef, info: SemanticInfo):
+        self._function = function
+        self._info = info
+        self._layout = info.functions[function.name]
+        self._scopes: list[dict[str, LocalSymbol | str]] = []
+        self._loop_depth = 0
+        self._frame_size = 0
+
+    def run(self) -> None:
+        self._scopes.append({name: "param" for name in self._layout.params})
+        self._check_stmt(self._function.body)
+        self._scopes.pop()
+        self._layout.frame_size = (self._frame_size + 15) & ~15
+
+    # -- helpers ------------------------------------------------------------------
+
+    def _error(self, node, message: str):
+        raise VxcSemanticError(f"line {getattr(node, 'line', '?')}: {message}")
+
+    def _lookup(self, name: str):
+        for scope in reversed(self._scopes):
+            if name in scope:
+                return scope[name]
+        if name in self._info.globals:
+            return self._info.globals[name]
+        return None
+
+    def _declare_local(self, decl: ast.VarDecl) -> None:
+        scope = self._scopes[-1]
+        if decl.name in scope:
+            self._error(decl, f"duplicate local {decl.name!r}")
+        elem_size = _ELEM_SIZES[decl.elem_kind]
+        if decl.array_length is not None:
+            if decl.array_length <= 0:
+                self._error(decl, f"array {decl.name!r} must have a positive length")
+            size = (decl.array_length * elem_size + 3) & ~3
+        else:
+            size = 4
+        self._frame_size += size
+        symbol = LocalSymbol(
+            name=decl.name,
+            elem_kind=decl.elem_kind,
+            elem_size=elem_size,
+            length=decl.array_length,
+            offset=-self._frame_size,
+        )
+        scope[decl.name] = symbol
+        self._layout.locals_by_decl[id(decl)] = symbol
+
+    # -- statements ------------------------------------------------------------------
+
+    def _check_stmt(self, node: ast.Stmt) -> None:
+        if isinstance(node, ast.Block):
+            self._scopes.append({})
+            for statement in node.statements:
+                self._check_stmt(statement)
+            self._scopes.pop()
+        elif isinstance(node, ast.VarDecl):
+            if node.initializer is not None:
+                if node.array_length is not None:
+                    self._error(node, "local arrays cannot have initializers")
+                self._check_expr(node.initializer)
+            self._declare_local(node)
+        elif isinstance(node, ast.ExprStmt):
+            self._check_expr(node.expr)
+        elif isinstance(node, ast.If):
+            self._check_expr(node.cond)
+            self._check_stmt(node.then)
+            if node.otherwise is not None:
+                self._check_stmt(node.otherwise)
+        elif isinstance(node, (ast.While, ast.DoWhile)):
+            self._check_expr(node.cond)
+            self._loop_depth += 1
+            self._check_stmt(node.body)
+            self._loop_depth -= 1
+        elif isinstance(node, ast.For):
+            self._scopes.append({})
+            if node.init is not None:
+                self._check_stmt(node.init)
+            if node.cond is not None:
+                self._check_expr(node.cond)
+            if node.step is not None:
+                self._check_expr(node.step)
+            self._loop_depth += 1
+            self._check_stmt(node.body)
+            self._loop_depth -= 1
+            self._scopes.pop()
+        elif isinstance(node, ast.Return):
+            if node.value is not None:
+                self._check_expr(node.value)
+            elif self._function.returns_value:
+                # allow bare 'return;' in int functions (value is unspecified, like C89)
+                pass
+        elif isinstance(node, ast.Break):
+            if self._loop_depth == 0:
+                self._error(node, "'break' outside of a loop")
+        elif isinstance(node, ast.Continue):
+            if self._loop_depth == 0:
+                self._error(node, "'continue' outside of a loop")
+        else:  # pragma: no cover - parser produces no other statement kinds
+            self._error(node, f"unsupported statement {type(node).__name__}")
+
+    # -- expressions --------------------------------------------------------------------
+
+    def _check_expr(self, node: ast.Expr) -> None:
+        if isinstance(node, (ast.NumberLiteral, ast.StringLiteral)):
+            return
+        if isinstance(node, ast.Identifier):
+            symbol = self._lookup(node.name)
+            if symbol is None:
+                if node.name in self._info.functions or node.name in BUILTINS:
+                    self._error(node, f"{node.name!r} is a function, not a value")
+                self._error(node, f"undeclared identifier {node.name!r}")
+            return
+        if isinstance(node, ast.UnaryOp):
+            self._check_expr(node.operand)
+            return
+        if isinstance(node, ast.BinaryOp):
+            self._check_expr(node.left)
+            self._check_expr(node.right)
+            return
+        if isinstance(node, ast.Conditional):
+            self._check_expr(node.cond)
+            self._check_expr(node.then)
+            self._check_expr(node.otherwise)
+            return
+        if isinstance(node, ast.Assignment):
+            self._check_assign_target(node.target)
+            self._check_expr(node.value)
+            return
+        if isinstance(node, ast.Index):
+            self._check_index(node)
+            return
+        if isinstance(node, ast.Call):
+            self._check_call(node)
+            return
+        self._error(node, f"unsupported expression {type(node).__name__}")  # pragma: no cover
+
+    def _check_assign_target(self, target: ast.Expr) -> None:
+        if isinstance(target, ast.Identifier):
+            symbol = self._lookup(target.name)
+            if symbol is None:
+                self._error(target, f"undeclared identifier {target.name!r}")
+            if isinstance(symbol, GlobalSymbol):
+                if symbol.is_const:
+                    self._error(target, f"cannot assign to const {target.name!r}")
+                if symbol.is_array:
+                    self._error(target, f"cannot assign to array {target.name!r}")
+            if isinstance(symbol, LocalSymbol) and symbol.is_array:
+                self._error(target, f"cannot assign to array {target.name!r}")
+            return
+        if isinstance(target, ast.Index):
+            self._check_index(target)
+            return
+        self._error(target, "assignment target must be a variable or array element")
+
+    def _check_index(self, node: ast.Index) -> None:
+        base = node.base
+        if not isinstance(base, ast.Identifier):
+            self._error(node, "only declared arrays can be subscripted; "
+                              "use peek/poke for raw addresses")
+        symbol = self._lookup(base.name)
+        if symbol is None:
+            self._error(base, f"undeclared identifier {base.name!r}")
+        if isinstance(symbol, str):  # parameter
+            self._error(node, f"{base.name!r} is not an array; "
+                              "use peek/poke to dereference addresses")
+        if isinstance(symbol, (GlobalSymbol, LocalSymbol)) and not symbol.is_array:
+            self._error(node, f"{base.name!r} is not an array")
+        self._check_expr(node.index)
+
+    def _check_call(self, node: ast.Call) -> None:
+        if node.name in BUILTINS:
+            expected = BUILTINS[node.name]
+        elif node.name in self._info.functions:
+            expected = len(self._info.functions[node.name].params)
+        else:
+            self._error(node, f"call to undefined function {node.name!r}")
+        if len(node.args) != expected:
+            self._error(
+                node,
+                f"{node.name!r} expects {expected} argument(s), got {len(node.args)}",
+            )
+        for argument in node.args:
+            self._check_expr(argument)
+
+
+def _check_function(function: ast.FunctionDef, info: SemanticInfo) -> None:
+    _FunctionChecker(function, info).run()

@@ -1,0 +1,19 @@
+"""Deterministic synthetic workloads standing in for the paper's test data."""
+
+from repro.workloads.audio import synthetic_music, synthetic_speech
+from repro.workloads.images import synthetic_diagram, synthetic_photo
+from repro.workloads.text import (
+    synthetic_log_bytes,
+    synthetic_source_file,
+    synthetic_source_tree_bytes,
+)
+
+__all__ = [
+    "synthetic_music",
+    "synthetic_speech",
+    "synthetic_diagram",
+    "synthetic_photo",
+    "synthetic_log_bytes",
+    "synthetic_source_file",
+    "synthetic_source_tree_bytes",
+]

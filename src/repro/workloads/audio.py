@@ -1,0 +1,94 @@
+"""Synthetic music-like audio for the audio codec benchmarks.
+
+The paper benchmarks its FLAC and Vorbis decoders on music files.  The
+generator below builds a deterministic "song": a chord progression of
+harmonically-rich notes with amplitude envelopes, a little percussion-like
+noise and stereo decorrelation, giving the lossless predictor and the lossy
+quantiser realistic material (strong short-term correlation, non-stationary
+envelopes).
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.formats.wav import WavAudio
+
+#: A minor-pentatonic-ish scale in Hz used for the synthetic melody.
+_SCALE = (220.0, 261.63, 293.66, 329.63, 392.0, 440.0, 523.25)
+
+
+def synthetic_music(
+    *,
+    seconds: float = 2.0,
+    sample_rate: int = 44100,
+    channels: int = 2,
+    seed: int = 0,
+) -> WavAudio:
+    """Generate a deterministic music-like clip."""
+    rng = np.random.default_rng(seed)
+    num_frames = int(seconds * sample_rate)
+    time = np.arange(num_frames) / sample_rate
+    mix = np.zeros(num_frames)
+
+    note_length = max(1, sample_rate // 4)          # 250 ms notes
+    position = 0
+    while position < num_frames:
+        frequency = float(rng.choice(_SCALE)) * (2.0 ** rng.integers(-1, 2))
+        length = min(note_length, num_frames - position)
+        t = time[position : position + length]
+        envelope = np.exp(-3.0 * np.linspace(0, 1, length))
+        note = np.zeros(length)
+        for harmonic, amplitude in enumerate((1.0, 0.5, 0.25, 0.12), start=1):
+            note += amplitude * np.sin(2 * np.pi * frequency * harmonic * t)
+        mix[position : position + length] += envelope * note
+        # Percussion tick at note onsets.
+        tick_length = min(length, sample_rate // 100)
+        mix[position : position + tick_length] += rng.normal(0, 0.4, tick_length) * np.exp(
+            -np.linspace(0, 8, tick_length)
+        )
+        position += length
+
+    # Gentle low-frequency "bass line".
+    mix += 0.3 * np.sin(2 * np.pi * 55.0 * time)
+    # Normalise to ~70% full scale.
+    mix = mix / (np.abs(mix).max() + 1e-9) * 0.7
+
+    if channels == 1:
+        stereo = mix[:, np.newaxis]
+    else:
+        # Slightly delayed, attenuated copy on the other channels for realism.
+        delayed = np.roll(mix, 37) * 0.85 + rng.normal(0, 0.002, num_frames)
+        columns = [mix, delayed] + [
+            np.roll(mix, 17 * extra) * 0.7 for extra in range(2, channels)
+        ]
+        stereo = np.stack(columns[:channels], axis=1)
+
+    samples = np.clip(stereo * 32767, -32768, 32767).astype(np.int16)
+    return WavAudio(sample_rate=sample_rate, samples=samples)
+
+
+def synthetic_speech(
+    *, seconds: float = 2.0, sample_rate: int = 16000, seed: int = 0
+) -> WavAudio:
+    """A rougher, speech-like mono signal (formant-ish bands + pauses)."""
+    rng = np.random.default_rng(seed)
+    num_frames = int(seconds * sample_rate)
+    time = np.arange(num_frames) / sample_rate
+    signal = np.zeros(num_frames)
+    position = 0
+    while position < num_frames:
+        length = int(rng.uniform(0.08, 0.25) * sample_rate)
+        length = min(length, num_frames - position)
+        if rng.random() < 0.25:
+            position += length           # pause
+            continue
+        pitch = rng.uniform(90, 220)
+        t = time[position : position + length]
+        voiced = np.sign(np.sin(2 * np.pi * pitch * t)) * 0.4
+        formant = np.sin(2 * np.pi * rng.uniform(500, 2500) * t) * 0.2
+        envelope = np.hanning(length)
+        signal[position : position + length] = (voiced + formant) * envelope
+        position += length
+    samples = np.clip(signal * 32767, -32768, 32767).astype(np.int16)[:, np.newaxis]
+    return WavAudio(sample_rate=sample_rate, samples=samples)

@@ -1,0 +1,68 @@
+"""Synthetic photographic images for the still-image codec benchmarks.
+
+The paper benchmarks its JPEG and JPEG-2000 decoders on "typical pictures";
+offline we synthesise images with photograph-like statistics: smooth
+large-scale gradients (sky / illumination), mid-frequency structure
+(objects / edges) and fine-grained sensor-style noise, which together give
+DCT and wavelet coders realistic coefficient distributions.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+
+def synthetic_photo(width: int, height: int, *, seed: int = 0) -> np.ndarray:
+    """An ``(height, width, 3)`` RGB uint8 array with photo-like content."""
+    rng = np.random.default_rng(seed)
+    ys, xs = np.mgrid[0:height, 0:width].astype(np.float64)
+    xs /= max(1, width - 1) if width > 1 else 1
+    ys /= max(1, height - 1) if height > 1 else 1
+
+    # Large-scale illumination gradient (like sky / vignetting).
+    base = 90 + 110 * (0.6 * xs + 0.4 * (1 - ys))
+
+    # A few soft "objects": gaussian blobs with random centres and colours.
+    channels = [base.copy(), base.copy() * 0.92, base.copy() * 0.85]
+    for _ in range(6):
+        cx, cy = rng.uniform(0, 1), rng.uniform(0, 1)
+        radius = rng.uniform(0.08, 0.35)
+        amplitude = rng.uniform(-70, 70)
+        blob = amplitude * np.exp(-(((xs - cx) ** 2 + (ys - cy) ** 2) / (2 * radius**2)))
+        colour = rng.uniform(0.4, 1.0, size=3)
+        for channel in range(3):
+            channels[channel] += blob * colour[channel]
+
+    # A couple of hard edges (horizon / buildings) so there is high-frequency energy.
+    edge_row = int(height * rng.uniform(0.55, 0.8))
+    for channel in range(3):
+        channels[channel][edge_row:, :] *= rng.uniform(0.55, 0.75)
+
+    # Fine sensor noise.
+    for channel in range(3):
+        channels[channel] += rng.normal(0, 3.0, size=(height, width))
+
+    image = np.stack(channels, axis=-1)
+    return np.clip(image, 0, 255).astype(np.uint8)
+
+
+def synthetic_diagram(width: int, height: int, *, seed: int = 0) -> np.ndarray:
+    """A synthetic line-art/diagram image (flat regions + sharp lines).
+
+    Used to exercise the codecs on graphics-like content where wavelet and
+    DCT coders behave very differently from photographs.
+    """
+    rng = np.random.default_rng(seed)
+    image = np.full((height, width, 3), 245, dtype=np.int64)
+    for _ in range(10):
+        x0, x1 = sorted(rng.integers(0, width, size=2))
+        y0, y1 = sorted(rng.integers(0, height, size=2))
+        colour = rng.integers(0, 200, size=3)
+        image[y0:y1, x0:x1] = colour
+    for _ in range(12):
+        row = rng.integers(0, height)
+        image[row, :, :] = 20
+    for _ in range(12):
+        col = rng.integers(0, width)
+        image[:, col, :] = 20
+    return np.clip(image, 0, 255).astype(np.uint8)

@@ -1,0 +1,32 @@
+"""From-scratch ZIP container: the substrate vxZIP builds on."""
+
+from repro.zipformat.crc import StreamingCrc32, crc32
+from repro.zipformat.reader import ZipReader
+from repro.zipformat.structures import (
+    ExtraField,
+    METHOD_DEFLATE,
+    METHOD_STORE,
+    METHOD_VXA,
+    ZipEntry,
+    dos_datetime,
+    pack_extra_fields,
+    unpack_extra_fields,
+)
+from repro.zipformat.writer import ZipWriter, deflate_compress, deflate_decompress
+
+__all__ = [
+    "StreamingCrc32",
+    "crc32",
+    "ZipReader",
+    "ExtraField",
+    "METHOD_DEFLATE",
+    "METHOD_STORE",
+    "METHOD_VXA",
+    "ZipEntry",
+    "dos_datetime",
+    "pack_extra_fields",
+    "unpack_extra_fields",
+    "ZipWriter",
+    "deflate_compress",
+    "deflate_decompress",
+]

@@ -1,0 +1,114 @@
+"""ZIP archive reader used by vxUnZIP."""
+
+from __future__ import annotations
+
+from repro.errors import ZipFormatError
+from repro.zipformat.crc import crc32
+from repro.zipformat.structures import (
+    METHOD_DEFLATE,
+    METHOD_STORE,
+    METHOD_VXA,
+    ZipEntry,
+    find_eocd,
+    unpack_central_header,
+    unpack_local_header,
+)
+from repro.zipformat.writer import deflate_decompress
+
+#: Refuse to inflate members that claim more than this (zip-bomb guard).
+MAX_MEMBER_SIZE = 1 << 31
+
+
+class ZipReader:
+    """Parses a ZIP archive from bytes.
+
+    Regular members are enumerated through the central directory, as standard
+    tools do.  Decoder pseudo-files are *not* listed there; they are reached
+    by absolute offset (stored in the VXA extension header of the members
+    that use them) via :meth:`read_member_at`.
+    """
+
+    def __init__(self, data: bytes):
+        self._data = data
+        entry_count, directory_size, directory_offset, comment = find_eocd(data)
+        if directory_offset + directory_size > len(data):
+            raise ZipFormatError("central directory extends past end of archive")
+        self.comment = comment
+        self.entries: list[ZipEntry] = []
+        offset = directory_offset
+        for _ in range(entry_count):
+            entry, offset = unpack_central_header(data, offset)
+            self.entries.append(entry)
+
+    # -- lookup ------------------------------------------------------------------------
+
+    def names(self) -> list[str]:
+        return [entry.name for entry in self.entries]
+
+    def find(self, name: str) -> ZipEntry:
+        for entry in self.entries:
+            if entry.name == name:
+                return entry
+        raise ZipFormatError(f"archive has no member named {name!r}")
+
+    def __contains__(self, name: str) -> bool:
+        return any(entry.name == name for entry in self.entries)
+
+    def __len__(self) -> int:
+        return len(self.entries)
+
+    # -- member access -----------------------------------------------------------------
+
+    def read_stored_bytes(self, entry: ZipEntry) -> bytes:
+        """Return a member's stored (possibly compressed) bytes."""
+        local_entry, data_offset = unpack_local_header(self._data, entry.local_header_offset)
+        size = entry.compressed_size or local_entry.compressed_size
+        end = data_offset + size
+        if end > len(self._data):
+            raise ZipFormatError(f"member {entry.name!r} extends past end of archive")
+        return self._data[data_offset:end]
+
+    def read_member(self, entry: ZipEntry, *, verify_crc: bool = True) -> bytes:
+        """Decompress a member stored with a traditional ZIP method.
+
+        Members using the VXA method cannot be read this way -- they need the
+        archived decoder (raise, so callers fall back to the VXA path).
+        """
+        if entry.uncompressed_size > MAX_MEMBER_SIZE:
+            raise ZipFormatError(f"member {entry.name!r} is implausibly large")
+        stored = self.read_stored_bytes(entry)
+        if entry.method == METHOD_STORE:
+            data = stored
+        elif entry.method == METHOD_DEFLATE:
+            data = deflate_decompress(stored, entry.uncompressed_size)
+        elif entry.method == METHOD_VXA:
+            raise ZipFormatError(
+                f"member {entry.name!r} uses the VXA method; extract it through "
+                "the archive reader so the attached decoder can run"
+            )
+        else:
+            raise ZipFormatError(
+                f"member {entry.name!r} uses unsupported method {entry.method}"
+            )
+        if verify_crc and crc32(data) != entry.crc32:
+            raise ZipFormatError(f"CRC mismatch for member {entry.name!r}")
+        return data
+
+    def read_member_at(self, offset: int, *, verify_crc: bool = True) -> tuple[ZipEntry, bytes]:
+        """Read a member (typically a decoder pseudo-file) by local-header offset."""
+        entry, data_offset = unpack_local_header(self._data, offset)
+        end = data_offset + entry.compressed_size
+        if end > len(self._data):
+            raise ZipFormatError("pseudo-file extends past end of archive")
+        stored = self._data[data_offset:end]
+        if entry.method == METHOD_STORE:
+            data = stored
+        elif entry.method == METHOD_DEFLATE:
+            data = deflate_decompress(stored, entry.uncompressed_size)
+        else:
+            raise ZipFormatError(
+                f"pseudo-file at offset {offset} uses unsupported method {entry.method}"
+            )
+        if verify_crc and crc32(data) != entry.crc32:
+            raise ZipFormatError(f"CRC mismatch for pseudo-file at offset {offset}")
+        return entry, data

@@ -1,0 +1,149 @@
+"""Streaming ZIP archive writer with support for decoder pseudo-files."""
+
+from __future__ import annotations
+
+import zlib
+
+from repro.errors import ZipFormatError
+from repro.zipformat.crc import crc32
+from repro.zipformat.structures import (
+    METHOD_DEFLATE,
+    METHOD_STORE,
+    ZipEntry,
+    pack_central_header,
+    pack_eocd,
+    pack_local_header,
+)
+
+
+def deflate_compress(data: bytes, level: int = 9) -> bytes:
+    """Raw DEFLATE compression (the fixed algorithm decoders are stored with)."""
+    compressor = zlib.compressobj(level, zlib.DEFLATED, -15)
+    return compressor.compress(data) + compressor.flush()
+
+
+def deflate_decompress(data: bytes, expected_size: int | None = None) -> bytes:
+    """Raw DEFLATE decompression with an optional output-size sanity bound."""
+    decompressor = zlib.decompressobj(-15)
+    limit = expected_size if expected_size is not None else -1
+    output = decompressor.decompress(data, max(0, limit) if limit >= 0 else 0)
+    output += decompressor.flush()
+    if expected_size is not None and len(output) != expected_size:
+        raise ZipFormatError(
+            f"deflate member decompressed to {len(output)} bytes, expected {expected_size}"
+        )
+    return output
+
+
+class ZipWriter:
+    """Builds a ZIP archive in memory.
+
+    Members added with ``in_central_directory=False`` become "pseudo-files":
+    they occupy space in the archive body with their own local header, but do
+    not appear in the central directory, so ordinary ZIP tools never list
+    them -- exactly how vxZIP hides archived decoders (paper section 3.2).
+    """
+
+    def __init__(self):
+        self._body = bytearray()
+        self._entries: list[ZipEntry] = []
+        self._finished = False
+
+    # -- adding members --------------------------------------------------------------
+
+    def add_member(
+        self,
+        name: str,
+        payload: bytes,
+        *,
+        method: int = METHOD_STORE,
+        uncompressed_size: int | None = None,
+        crc: int | None = None,
+        extra: bytes = b"",
+        comment: bytes = b"",
+        in_central_directory: bool = True,
+        external_attributes: int = 0,
+    ) -> ZipEntry:
+        """Add one member whose *stored* bytes are ``payload``.
+
+        For ``METHOD_STORE`` the payload is the member data itself; for other
+        methods the caller supplies already-compressed bytes together with
+        the original size and CRC.
+        """
+        if self._finished:
+            raise ZipFormatError("archive already finalised")
+        if method == METHOD_STORE:
+            uncompressed_size = len(payload)
+            crc = crc32(payload) if crc is None else crc
+        else:
+            if uncompressed_size is None or crc is None:
+                raise ZipFormatError(
+                    "compressed members need an explicit uncompressed size and CRC"
+                )
+        entry = ZipEntry(
+            name=name,
+            method=method,
+            crc32=crc,
+            compressed_size=len(payload),
+            uncompressed_size=uncompressed_size,
+            local_header_offset=len(self._body),
+            extra=extra,
+            comment=comment,
+            in_central_directory=in_central_directory,
+            external_attributes=external_attributes,
+        )
+        self._body += pack_local_header(entry)
+        self._body += payload
+        self._entries.append(entry)
+        return entry
+
+    def add_deflate_member(self, name: str, data: bytes, **kwargs) -> ZipEntry:
+        """Convenience: compress ``data`` with deflate and add it (method 8)."""
+        compressed = deflate_compress(data)
+        return self.add_member(
+            name,
+            compressed,
+            method=METHOD_DEFLATE,
+            uncompressed_size=len(data),
+            crc=crc32(data),
+            **kwargs,
+        )
+
+    def add_pseudo_file(self, data: bytes, *, deflate: bool = True) -> ZipEntry:
+        """Add a hidden pseudo-file (used for archived decoders).
+
+        Decoders are themselves compressed "using a fixed, well-known
+        algorithm: namely the ubiquitous deflate method" (section 3.2).
+        """
+        if deflate:
+            compressed = deflate_compress(data)
+            return self.add_member(
+                "",
+                compressed,
+                method=METHOD_DEFLATE,
+                uncompressed_size=len(data),
+                crc=crc32(data),
+                in_central_directory=False,
+            )
+        return self.add_member("", data, in_central_directory=False)
+
+    # -- finishing ---------------------------------------------------------------------
+
+    @property
+    def current_offset(self) -> int:
+        return len(self._body)
+
+    def finish(self, comment: bytes = b"") -> bytes:
+        """Write the central directory and EOCD; return the archive bytes."""
+        if self._finished:
+            raise ZipFormatError("archive already finalised")
+        directory = bytearray()
+        listed = [entry for entry in self._entries if entry.in_central_directory]
+        for entry in listed:
+            directory += pack_central_header(entry)
+        directory_offset = len(self._body)
+        archive = bytes(self._body) + bytes(directory) + pack_eocd(
+            len(listed), len(directory), directory_offset, comment
+        )
+        self._finished = True
+        return archive

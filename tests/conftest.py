@@ -1,0 +1,49 @@
+"""Shared fixtures and helpers for the VXA reproduction test suite."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.elf.builder import build_executable
+from repro.isa.assembler import assemble
+
+
+def build_asm(source: str, *, note: dict | None = None) -> bytes:
+    """Assemble ``source`` and wrap it in a VXA ELF executable."""
+    return build_executable(assemble(source), note=note)
+
+
+@pytest.fixture(scope="session")
+def echo_decoder_image() -> bytes:
+    """A minimal guest "decoder" that copies stdin to stdout (the identity codec).
+
+    Written directly in assembly so the VM layers can be tested without the
+    vxc compiler.
+    """
+    return build_asm(
+        """
+        ; identity filter: while ((n = read(0, buf, 4096)) > 0) write(1, buf, n); exit(0)
+        _start:
+        read_loop:
+            movi r0, 1            ; READ
+            movi r1, 0            ; stdin
+            movi r2, buffer
+            movi r3, 4096
+            vxcall
+            cmpi r0, 0
+            jles finished         ; n <= 0 -> stop
+            mov  r3, r0           ; count = n
+            movi r0, 2            ; WRITE
+            movi r1, 1            ; stdout
+            movi r2, buffer
+            vxcall
+            jmp  read_loop
+        finished:
+            movi r0, 0            ; EXIT
+            movi r1, 0
+            vxcall
+        .data
+        buffer:
+            .space 4096
+        """
+    )

@@ -1,0 +1,103 @@
+"""Unit tests for the ELF32 builder and reader."""
+
+import pytest
+
+from repro.elf.builder import build_executable
+from repro.elf.reader import is_vxa_executable, parse_executable, read_note
+from repro.elf.structures import ELF_MAGIC, EM_VXA32
+from repro.errors import ElfFormatError
+from repro.isa.assembler import assemble
+
+HELLO_ASM = """
+_start:
+    movi r0, 2          ; write
+    movi r1, 1          ; stdout
+    movi r2, message
+    movi r3, 6
+    vxcall
+    movi r0, 0          ; exit
+    movi r1, 0
+    vxcall
+.data
+message:
+    .ascii "hello\\n"
+.bss 64
+"""
+
+
+@pytest.fixture()
+def hello_image():
+    return build_executable(assemble(HELLO_ASM), note={"codec": "demo", "decoder_bytes": 10})
+
+
+def test_image_has_elf_magic(hello_image):
+    assert hello_image[:4] == ELF_MAGIC
+
+
+def test_parse_round_trip(hello_image):
+    program = assemble(HELLO_ASM)
+    image = parse_executable(hello_image)
+    assert image.machine == EM_VXA32
+    assert image.entry == program.entry
+    assert len(image.segments) == 2
+    text, data = image.segments
+    assert text.executable and not text.writable
+    assert data.writable and not data.executable
+    assert data.data.startswith(b"hello\n")
+    assert data.memsz == len(data.data) + 64  # bss follows data
+
+
+def test_note_round_trip(hello_image):
+    assert read_note(hello_image) == {"codec": "demo", "decoder_bytes": 10}
+
+
+def test_image_without_note():
+    image = build_executable(assemble("_start:\n halt\n"))
+    assert read_note(image) == {}
+
+
+def test_is_vxa_executable(hello_image):
+    assert is_vxa_executable(hello_image)
+    assert not is_vxa_executable(b"not an elf")
+    assert not is_vxa_executable(hello_image[:40])
+
+
+def test_reject_truncated_image(hello_image):
+    with pytest.raises(ElfFormatError):
+        parse_executable(hello_image[:60])
+
+
+def test_reject_bad_magic(hello_image):
+    corrupted = b"XXXX" + hello_image[4:]
+    with pytest.raises(ElfFormatError):
+        parse_executable(corrupted)
+
+
+def test_reject_wrong_machine(hello_image):
+    corrupted = bytearray(hello_image)
+    corrupted[18:20] = (3).to_bytes(2, "little")  # EM_386
+    with pytest.raises(ElfFormatError):
+        parse_executable(bytes(corrupted))
+    # ... unless the caller explicitly allows foreign machines.
+    parse_executable(bytes(corrupted), require_vxa=False)
+
+
+def test_reject_entry_outside_text(hello_image):
+    corrupted = bytearray(hello_image)
+    corrupted[24:28] = (0xDEAD0000).to_bytes(4, "little")  # e_entry
+    with pytest.raises(ElfFormatError):
+        parse_executable(bytes(corrupted))
+
+
+def test_reject_segment_past_end(hello_image):
+    corrupted = bytearray(hello_image)
+    # First program header starts at offset 52; p_filesz is at +16.
+    corrupted[52 + 16 : 52 + 20] = (0x7FFFFFFF).to_bytes(4, "little")
+    with pytest.raises(ElfFormatError):
+        parse_executable(bytes(corrupted))
+
+
+def test_load_size_accounts_for_bss(hello_image):
+    image = parse_executable(hello_image)
+    data_segment = image.segments[1]
+    assert image.load_size == data_segment.vaddr + data_segment.memsz

@@ -1,0 +1,199 @@
+"""Unit tests for the VXA-32 assembler and disassembler."""
+
+import pytest
+
+from repro.errors import AssemblerError
+from repro.isa.assembler import assemble
+from repro.isa.disassembler import disassemble
+from repro.isa.encoding import decode_all
+from repro.isa.opcodes import Op
+
+
+def test_assemble_simple_program():
+    program = assemble(
+        """
+        _start:
+            movi r0, 1
+            movi r1, 0x10
+            add  r0, r1
+            halt
+        """
+    )
+    ops = [insn.op for _, insn in decode_all(program.text)]
+    assert ops == [Op.MOVI, Op.MOVI, Op.ADD, Op.HALT]
+    assert program.entry == program.text_base
+    assert program.symbols["_start"] == program.text_base
+
+
+def test_labels_and_branches_resolve_relative():
+    program = assemble(
+        """
+        _start:
+            movi r0, 0
+        loop:
+            addi r0, 1
+            cmpi r0, 10
+            jne  loop
+            halt
+        """
+    )
+    instructions = list(decode_all(program.text))
+    jne_offset, jne = instructions[3]
+    # branch target = address just after the jne, plus the relative immediate
+    assert program.text_base + jne_offset + jne.length + jne.imm == program.symbols["loop"]
+
+
+def test_data_section_and_symbols():
+    program = assemble(
+        """
+        _start:
+            movi r0, message
+            halt
+        .data
+        message:
+            .asciz "hi"
+        value:
+            .word 0xdeadbeef
+        """
+    )
+    assert program.symbols["message"] == program.data_base
+    assert program.data[:3] == b"hi\x00"
+    assert program.symbols["value"] == program.data_base + 3
+    assert program.data[3:7] == bytes.fromhex("efbeadde")
+
+
+def test_memory_operands_with_displacement():
+    program = assemble(
+        """
+        _start:
+            ld32 r0, [r1+8]
+            st8  [r2-1], r3
+            halt
+        """
+    )
+    instructions = [insn for _, insn in decode_all(program.text)]
+    assert instructions[0].op == Op.LD32
+    assert instructions[0].rd == 0
+    assert instructions[0].rs == 1
+    assert instructions[0].imm == 8
+    assert instructions[1].op == Op.ST8
+    assert instructions[1].rd == 2
+    assert instructions[1].rs == 3
+    assert instructions[1].imm == 0xFFFFFFFF  # -1 wrapped
+
+
+def test_character_and_hex_literals():
+    program = assemble(
+        """
+        _start:
+            movi r0, 'A'
+            movi r1, 0xff
+            halt
+        """
+    )
+    instructions = [insn for _, insn in decode_all(program.text)]
+    assert instructions[0].imm == ord("A")
+    assert instructions[1].imm == 0xFF
+
+
+def test_align_and_space_directives():
+    program = assemble(
+        """
+        _start:
+            halt
+        .data
+            .byte 1
+            .align 4
+        table:
+            .space 8
+        end_table:
+        """
+    )
+    assert program.symbols["table"] % 4 == 0
+    assert program.symbols["end_table"] == program.symbols["table"] + 8
+
+
+def test_bss_directive_reserves_memory():
+    program = assemble(
+        """
+        _start:
+            halt
+        .bss 4096
+        """
+    )
+    assert program.bss_size == 4096
+
+
+def test_global_directive_recorded():
+    program = assemble(
+        """
+        .global _start, helper
+        _start:
+            halt
+        helper:
+            ret
+        """
+    )
+    assert set(program.globals) == {"_start", "helper"}
+
+
+def test_duplicate_label_rejected():
+    with pytest.raises(AssemblerError):
+        assemble("a:\n nop\na:\n nop\n")
+
+
+def test_unknown_mnemonic_rejected():
+    with pytest.raises(AssemblerError):
+        assemble("_start:\n frobnicate r0, r1\n")
+
+
+def test_undefined_symbol_rejected():
+    with pytest.raises(AssemblerError):
+        assemble("_start:\n jmp nowhere\n")
+
+
+def test_wrong_operand_count_rejected():
+    with pytest.raises(AssemblerError):
+        assemble("_start:\n add r0\n")
+
+
+def test_comments_and_blank_lines_ignored():
+    program = assemble(
+        """
+        ; full line comment
+        # another comment style
+
+        _start:
+            nop   ; trailing comment
+            halt  # also trailing
+        """
+    )
+    ops = [insn.op for _, insn in decode_all(program.text)]
+    assert ops == [Op.NOP, Op.HALT]
+
+
+def test_disassembler_round_trip_mnemonics():
+    source = """
+    _start:
+        movi r0, 64
+        movi r1, 2
+        mul  r0, r1
+        push r0
+        pop  r2
+        cmpi r2, 128
+        je   good
+        halt
+    good:
+        ret
+    """
+    program = assemble(source)
+    lines = disassemble(program.text, base=program.text_base)
+    text = "\n".join(lines)
+    for mnemonic in ("movi", "mul", "push", "pop", "cmpi", "je", "halt", "ret"):
+        assert mnemonic in text
+
+
+def test_disassembler_handles_garbage_bytes():
+    lines = disassemble(b"\xff\x01", base=0)
+    assert any(".byte" in line for line in lines)
+    assert any("nop" in line for line in lines)

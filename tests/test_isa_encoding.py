@@ -1,0 +1,120 @@
+"""Unit tests for VXA-32 instruction encoding and decoding."""
+
+import pytest
+from hypothesis import given, strategies as st
+
+from repro.errors import InvalidInstructionError
+from repro.isa.encoding import decode, decode_all, encode, instruction_length
+from repro.isa.opcodes import Fmt, Op, OPCODES, NUM_REGISTERS
+
+
+def test_encode_none_format_is_one_byte():
+    assert encode(Op.NOP) == bytes([Op.NOP])
+    assert encode(Op.RET) == bytes([Op.RET])
+
+
+def test_encode_reg_format():
+    data = encode(Op.PUSH, rd=3)
+    assert data == bytes([Op.PUSH, 3])
+
+
+def test_encode_reg_reg_packs_nibbles():
+    data = encode(Op.ADD, rd=2, rs=5)
+    assert data == bytes([Op.ADD, (2 << 4) | 5])
+
+
+def test_encode_reg_imm_little_endian():
+    data = encode(Op.MOVI, rd=1, imm=0x11223344)
+    assert data == bytes([Op.MOVI, 1, 0x44, 0x33, 0x22, 0x11])
+
+
+def test_encode_negative_immediate_wraps():
+    data = encode(Op.ADDI, rd=0, imm=-1)
+    assert data[-4:] == b"\xff\xff\xff\xff"
+
+
+def test_encode_rejects_bad_register():
+    with pytest.raises(InvalidInstructionError):
+        encode(Op.MOV, rd=8, rs=0)
+    with pytest.raises(InvalidInstructionError):
+        encode(Op.MOV, rd=0, rs=9)
+
+
+def test_decode_rejects_illegal_opcode():
+    with pytest.raises(InvalidInstructionError):
+        decode(b"\xff")
+
+
+def test_decode_rejects_truncated_instruction():
+    data = encode(Op.MOVI, rd=1, imm=5)[:-1]
+    with pytest.raises(InvalidInstructionError):
+        decode(data)
+
+
+def test_decode_rejects_register_out_of_range():
+    with pytest.raises(InvalidInstructionError):
+        decode(bytes([Op.PUSH, 12]))
+
+
+def test_decode_empty_buffer():
+    with pytest.raises(InvalidInstructionError):
+        decode(b"", 0)
+
+
+def test_relative_branch_decodes_signed():
+    data = encode(Op.JMP, imm=-10)
+    insn = decode(data)
+    assert insn.imm == -10
+
+
+def test_instruction_length_matches_encoding():
+    for op, info in OPCODES.items():
+        encoded = encode(op, rd=0, rs=0, imm=0)
+        assert len(encoded) == instruction_length(op), info.mnemonic
+
+
+def test_decode_all_walks_a_sequence():
+    code = encode(Op.MOVI, rd=0, imm=7) + encode(Op.ADD, rd=0, rs=1) + encode(Op.RET)
+    items = list(decode_all(code))
+    assert [insn.op for _, insn in items] == [Op.MOVI, Op.ADD, Op.RET]
+    assert [offset for offset, _ in items] == [0, 6, 8]
+
+
+@given(
+    op=st.sampled_from(sorted(OPCODES)),
+    rd=st.integers(min_value=0, max_value=NUM_REGISTERS - 1),
+    rs=st.integers(min_value=0, max_value=NUM_REGISTERS - 1),
+    imm=st.integers(min_value=-(2**31), max_value=2**32 - 1),
+)
+def test_encode_decode_round_trip(op, rd, rs, imm):
+    """Property: decoding an encoded instruction recovers its operands."""
+    encoded = encode(op, rd=rd, rs=rs, imm=imm)
+    insn = decode(encoded)
+    info = OPCODES[op]
+    assert insn.op == op
+    assert insn.length == len(encoded)
+    if info.fmt in (Fmt.REG, Fmt.REG_IMM):
+        assert insn.rd == rd
+    if info.fmt in (Fmt.REG_REG, Fmt.REG_REG_IMM):
+        assert insn.rd == rd
+        assert insn.rs == rs
+    if info.fmt in (Fmt.REG_IMM, Fmt.REG_REG_IMM):
+        assert insn.imm == imm & 0xFFFFFFFF
+    if info.fmt is Fmt.REL:
+        expected = imm & 0xFFFFFFFF
+        expected = expected - 2**32 if expected >= 2**31 else expected
+        assert insn.imm == expected
+
+
+@given(payload=st.binary(min_size=1, max_size=64))
+def test_decoder_never_crashes_on_arbitrary_bytes(payload):
+    """Property: arbitrary bytes either decode or raise InvalidInstructionError.
+
+    This matters for the sandbox: a malicious decoder can jump anywhere in its
+    code segment, so the translator must handle any byte sequence gracefully.
+    """
+    try:
+        insn = decode(payload)
+    except InvalidInstructionError:
+        return
+    assert 1 <= insn.length <= 7

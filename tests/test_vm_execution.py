@@ -1,0 +1,530 @@
+"""Integration tests for the VM execution engines (interpreter and translator).
+
+Every behavioural test runs under both engines: the translator must be
+observationally identical to the reference interpreter.
+"""
+
+import pytest
+
+from repro.errors import (
+    DivisionFault,
+    GuestFault,
+    IllegalInstructionFault,
+    MemoryFault,
+    ResourceLimitExceeded,
+)
+from repro.vm.limits import ExecutionLimits
+from repro.vm.machine import ENGINE_INTERPRETER, ENGINE_TRANSLATOR, VirtualMachine
+
+from tests.conftest import build_asm
+
+ENGINES = [ENGINE_TRANSLATOR, ENGINE_INTERPRETER]
+
+
+def run_asm(source: str, engine: str, stdin: bytes = b"", **vm_kwargs):
+    """Assemble, load and run a guest program; return (exit_code, result)."""
+    vm = VirtualMachine(build_asm(source), engine=engine, **vm_kwargs)
+    result = vm.decode(stdin)
+    return result
+
+
+ARITH_PROGRAM = """
+; compute ((7 * 6) + 58 - 4) / 2 = 48 and write the single byte '0' (0x30)
+_start:
+    movi r1, 7
+    movi r2, 6
+    mul  r1, r2
+    addi r1, 58
+    subi r1, 4
+    movi r2, 2
+    divu r1, r2
+    movi r2, buffer
+    st8  [r2], r1
+    movi r0, 2        ; WRITE
+    movi r1, 1
+    movi r3, 1
+    vxcall
+    movi r0, 0        ; EXIT
+    movi r1, 0
+    vxcall
+.data
+buffer:
+    .byte 0
+"""
+
+
+@pytest.mark.parametrize("engine", ENGINES)
+def test_arithmetic_and_write(engine):
+    result = run_asm(ARITH_PROGRAM, engine)
+    assert result.exit_code == 0
+    assert result.output == b"0"
+
+
+@pytest.mark.parametrize("engine", ENGINES)
+def test_echo_decoder_copies_stdin_to_stdout(engine, echo_decoder_image):
+    vm = VirtualMachine(echo_decoder_image, engine=engine)
+    payload = bytes(range(256)) * 40
+    result = vm.decode(payload)
+    assert result.exit_code == 0
+    assert result.output == payload
+    assert result.stats.bytes_read == len(payload)
+    assert result.stats.bytes_written == len(payload)
+
+
+@pytest.mark.parametrize("engine", ENGINES)
+def test_loop_and_conditionals(engine):
+    # Sum 1..100 = 5050 = 0x13BA; store and exit with code 0 if correct.
+    source = """
+    _start:
+        movi r1, 0        ; sum
+        movi r2, 1        ; i
+    loop:
+        add  r1, r2
+        addi r2, 1
+        cmpi r2, 100
+        jleu loop
+        cmpi r1, 5050
+        je   ok
+        movi r1, 1
+        jmp  out
+    ok:
+        movi r1, 0
+    out:
+        movi r0, 0
+        vxcall
+    """
+    result = run_asm(source, engine)
+    assert result.exit_code == 0
+
+
+@pytest.mark.parametrize("engine", ENGINES)
+def test_signed_comparisons_and_division(engine):
+    # (-7) / 2 == -3 (C truncation); compare signed -3 < 1.
+    source = """
+    _start:
+        movi r1, 0xfffffff9   ; -7
+        movi r2, 2
+        divs r1, r2
+        cmpi r1, 0xfffffffd   ; -3
+        jne  bad
+        movi r3, 0xffffffff   ; -1
+        cmpi r3, 1
+        jlts good
+    bad:
+        movi r1, 1
+        jmp  out
+    good:
+        movi r1, 0
+    out:
+        movi r0, 0
+        vxcall
+    """
+    result = run_asm(source, engine)
+    assert result.exit_code == 0
+
+
+@pytest.mark.parametrize("engine", ENGINES)
+def test_call_ret_and_stack(engine):
+    source = """
+    _start:
+        movi r1, 5
+        call double
+        call double
+        cmpi r1, 20
+        je   ok
+        movi r1, 1
+        jmp  out
+    ok:
+        movi r1, 0
+    out:
+        movi r0, 0
+        vxcall
+    double:
+        push r2
+        movi r2, 2
+        mul  r1, r2
+        pop  r2
+        ret
+    """
+    result = run_asm(source, engine)
+    assert result.exit_code == 0
+
+
+@pytest.mark.parametrize("engine", ENGINES)
+def test_indirect_call_through_register(engine):
+    source = """
+    _start:
+        movi r4, target
+        callr r4
+        cmpi r1, 99
+        je   ok
+        movi r1, 1
+        jmp  out
+    ok:
+        movi r1, 0
+    out:
+        movi r0, 0
+        vxcall
+    target:
+        movi r1, 99
+        ret
+    """
+    result = run_asm(source, engine)
+    assert result.exit_code == 0
+
+
+@pytest.mark.parametrize("engine", ENGINES)
+def test_byte_and_halfword_memory_ops(engine):
+    source = """
+    _start:
+        movi r1, buffer
+        movi r2, 0x1234
+        st16 [r1], r2
+        ld8u r3, [r1]
+        cmpi r3, 0x34
+        jne  bad
+        ld8u r3, [r1+1]
+        cmpi r3, 0x12
+        jne  bad
+        movi r2, 0xff
+        st8  [r1+2], r2
+        ld8s r3, [r1+2]
+        cmpi r3, 0xffffffff
+        jne  bad
+        movi r1, 0
+        jmp  out
+    bad:
+        movi r1, 1
+    out:
+        movi r0, 0
+        vxcall
+    .data
+    buffer:
+        .space 16
+    """
+    result = run_asm(source, engine)
+    assert result.exit_code == 0
+
+
+@pytest.mark.parametrize("engine", ENGINES)
+def test_shift_semantics(engine):
+    source = """
+    _start:
+        movi r1, 0x80000000
+        shrsi r1, 31
+        cmpi r1, 0xffffffff   ; arithmetic shift keeps the sign
+        jne  bad
+        movi r1, 0x80000000
+        shrui r1, 31
+        cmpi r1, 1
+        jne  bad
+        movi r1, 1
+        shli r1, 31
+        cmpi r1, 0x80000000
+        jne  bad
+        movi r1, 0
+        jmp  out
+    bad:
+        movi r1, 1
+    out:
+        movi r0, 0
+        vxcall
+    """
+    result = run_asm(source, engine)
+    assert result.exit_code == 0
+
+
+@pytest.mark.parametrize("engine", ENGINES)
+def test_exit_code_propagates(engine):
+    source = """
+    _start:
+        movi r0, 0
+        movi r1, 42
+        vxcall
+    """
+    result = run_asm(source, engine)
+    assert result.exit_code == 42
+
+
+@pytest.mark.parametrize("engine", ENGINES)
+def test_halt_is_a_clean_stop(engine):
+    result = run_asm("_start:\n halt\n", engine)
+    assert result.exit_code == 0
+
+
+# -- fault isolation ----------------------------------------------------------
+
+
+@pytest.mark.parametrize("engine", ENGINES)
+def test_wild_store_faults_but_host_survives(engine):
+    source = """
+    _start:
+        movi r1, 0x40000000   ; 1 GB, far outside the sandbox
+        movi r2, 0xdead
+        st32 [r1], r2
+        halt
+    """
+    with pytest.raises(MemoryFault):
+        run_asm(source, engine)
+
+
+@pytest.mark.parametrize("engine", ENGINES)
+def test_wild_read_faults(engine):
+    source = """
+    _start:
+        movi r1, 0x3fffffff
+        ld32 r2, [r1]
+        halt
+    """
+    with pytest.raises(MemoryFault):
+        run_asm(source, engine)
+
+
+@pytest.mark.parametrize("engine", ENGINES)
+def test_division_by_zero_faults(engine):
+    source = """
+    _start:
+        movi r1, 10
+        movi r2, 0
+        divu r1, r2
+        halt
+    """
+    with pytest.raises(DivisionFault):
+        run_asm(source, engine)
+
+
+@pytest.mark.parametrize("engine", ENGINES)
+def test_jump_outside_code_segment_faults(engine):
+    source = """
+    _start:
+        movi r1, 0x300000
+        jmpr r1
+    """
+    with pytest.raises((IllegalInstructionFault, GuestFault)):
+        run_asm(source, engine)
+
+
+@pytest.mark.parametrize("engine", ENGINES)
+def test_jump_into_data_segment_faults(engine):
+    source = """
+    _start:
+        movi r1, blob
+        jmpr r1
+    .data
+    blob:
+        .word 0xffffffff
+    """
+    with pytest.raises(GuestFault):
+        run_asm(source, engine)
+
+
+@pytest.mark.parametrize("engine", ENGINES)
+def test_infinite_loop_hits_instruction_budget(engine):
+    source = """
+    _start:
+    spin:
+        jmp spin
+    """
+    limits = ExecutionLimits(max_instructions=10_000)
+    with pytest.raises(ResourceLimitExceeded):
+        run_asm(source, engine, limits=limits)
+
+
+@pytest.mark.parametrize("engine", ENGINES)
+def test_output_budget_enforced(engine, echo_decoder_image):
+    vm = VirtualMachine(
+        echo_decoder_image,
+        engine=engine,
+        limits=ExecutionLimits(max_output_bytes=1024),
+    )
+    with pytest.raises(ResourceLimitExceeded):
+        vm.decode(b"x" * 8192, limits=ExecutionLimits(max_output_bytes=1024))
+
+
+@pytest.mark.parametrize("engine", ENGINES)
+def test_vm_usable_after_guest_fault(engine, echo_decoder_image):
+    bad = """
+    _start:
+        movi r1, 0x20000000
+        ld32 r2, [r1]
+        halt
+    """
+    vm = VirtualMachine(build_asm(bad), engine=engine)
+    with pytest.raises(MemoryFault):
+        vm.decode(b"")
+    # The same VM object can be reset and used again.
+    vm.reset()
+    with pytest.raises(MemoryFault):
+        vm.decode(b"")
+
+
+# -- syscall surface -----------------------------------------------------------
+
+
+@pytest.mark.parametrize("engine", ENGINES)
+def test_unknown_fd_returns_ebadf_not_host_access(engine):
+    source = """
+    _start:
+        movi r0, 2         ; WRITE
+        movi r1, 7         ; not one of the three virtual handles
+        movi r2, buffer
+        movi r3, 4
+        vxcall
+        cmpi r0, 0xfffffff7   ; EBADF (-9)
+        je   ok
+        movi r1, 1
+        jmp  out
+    ok:
+        movi r1, 0
+    out:
+        movi r0, 0
+        vxcall
+    .data
+    buffer:
+        .ascii "data"
+    """
+    result = run_asm(source, engine)
+    assert result.exit_code == 0
+
+
+@pytest.mark.parametrize("engine", ENGINES)
+def test_invalid_syscall_number_faults(engine):
+    source = """
+    _start:
+        movi r0, 99
+        vxcall
+        halt
+    """
+    with pytest.raises(GuestFault):
+        run_asm(source, engine)
+
+
+@pytest.mark.parametrize("engine", ENGINES)
+def test_stderr_is_captured_separately(engine):
+    source = """
+    _start:
+        movi r0, 2
+        movi r1, 2          ; stderr
+        movi r2, message
+        movi r3, 5
+        vxcall
+        movi r0, 0
+        movi r1, 0
+        vxcall
+    .data
+    message:
+        .ascii "oops!"
+    """
+    result = run_asm(source, engine)
+    assert result.stderr == b"oops!"
+    assert result.output == b""
+
+
+@pytest.mark.parametrize("engine", ENGINES)
+def test_setperm_grows_heap(engine):
+    source = """
+    _start:
+        movi r0, 3            ; SETPERM
+        movi r1, 0x600000     ; 6 MB
+        vxcall
+        cmpi r0, 0x600000
+        jne  bad
+        movi r1, 0x5ffffc     ; store at the very top of the new region
+        movi r2, 0x1234
+        st32 [r1], r2
+        movi r1, 0
+        jmp  out
+    bad:
+        movi r1, 1
+    out:
+        movi r0, 0
+        vxcall
+    """
+    result = run_asm(source, engine)
+    assert result.exit_code == 0
+
+
+@pytest.mark.parametrize("engine", ENGINES)
+def test_done_protocol_decodes_multiple_streams(engine):
+    # A decoder that upper-cases ASCII letters and uses done() between streams.
+    source = """
+    _start:
+    stream_loop:
+    read_loop:
+        movi r0, 1
+        movi r1, 0
+        movi r2, buffer
+        movi r3, 256
+        vxcall
+        cmpi r0, 0
+        jles stream_done
+        mov  r5, r0            ; n
+        movi r4, 0             ; i
+    transform:
+        cmp  r4, r5
+        jgeu flush
+        movi r2, buffer
+        add  r2, r4
+        ld8u r1, [r2]
+        cmpi r1, 'a'
+        jltu keep
+        cmpi r1, 'z'
+        jgtu keep
+        subi r1, 32
+        st8  [r2], r1
+    keep:
+        addi r4, 1
+        jmp  transform
+    flush:
+        movi r0, 2
+        movi r1, 1
+        movi r2, buffer
+        mov  r3, r5
+        vxcall
+        jmp  read_loop
+    stream_done:
+        movi r0, 4             ; DONE
+        vxcall
+        cmpi r0, 0
+        je   stream_loop       ; another stream is ready
+        movi r0, 0
+        movi r1, 0
+        vxcall
+    .data
+    buffer:
+        .space 256
+    """
+    vm = VirtualMachine(build_asm(source), engine=engine)
+    results = vm.decode_many([b"hello", b"world", b"MiXeD 123"])
+    assert [result.output for result in results] == [b"HELLO", b"WORLD", b"MIXED 123"]
+
+
+# -- engine equivalence property -------------------------------------------------
+
+
+def test_translator_and_interpreter_agree_on_echo(echo_decoder_image):
+    payload = bytes((i * 7 + 3) % 256 for i in range(10_000))
+    outputs = []
+    for engine in ENGINES:
+        vm = VirtualMachine(echo_decoder_image, engine=engine)
+        outputs.append(vm.decode(payload).output)
+    assert outputs[0] == outputs[1] == payload
+
+
+def test_translator_reports_cache_statistics(echo_decoder_image):
+    vm = VirtualMachine(echo_decoder_image, engine=ENGINE_TRANSLATOR)
+    result = vm.decode(b"a" * 64 * 1024)
+    stats = result.stats
+    assert stats.fragments_translated > 0
+    assert stats.fragment_cache_hits > stats.fragment_cache_misses
+    assert stats.instructions > 0
+
+
+def test_fragment_cache_can_be_disabled(echo_decoder_image):
+    vm = VirtualMachine(
+        echo_decoder_image, engine=ENGINE_TRANSLATOR, use_fragment_cache=False
+    )
+    result = vm.decode(b"a" * 4096)
+    assert result.output == b"a" * 4096
+    assert result.stats.fragment_cache_hits == 0
+    assert result.stats.fragments_translated == result.stats.blocks_executed

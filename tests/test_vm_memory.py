@@ -1,0 +1,153 @@
+"""Unit tests for the guest memory sandbox."""
+
+import pytest
+from hypothesis import given, strategies as st
+
+from repro.errors import MemoryFault, ResourceLimitExceeded
+from repro.vm.memory import (
+    CHECK_FULL,
+    CHECK_NONE,
+    CHECK_WRITE_ONLY,
+    GUEST_ADDRESS_SPACE_LIMIT,
+    GuestMemory,
+)
+
+
+def test_basic_load_store_round_trip():
+    memory = GuestMemory(4096)
+    memory.store32(0, 0x11223344)
+    assert memory.load32(0) == 0x11223344
+    assert memory.load16u(0) == 0x3344
+    assert memory.load8u(3) == 0x11
+    memory.store16(100, 0xBEEF)
+    assert memory.load16u(100) == 0xBEEF
+    memory.store8(200, 0xAB)
+    assert memory.load8u(200) == 0xAB
+
+
+def test_signed_loads():
+    memory = GuestMemory(4096)
+    memory.store8(0, 0xFF)
+    memory.store16(2, 0x8000)
+    assert memory.load8s(0) == -1
+    assert memory.load16s(2) == -32768
+    memory.store8(4, 0x7F)
+    assert memory.load8s(4) == 127
+
+
+def test_little_endian_layout():
+    memory = GuestMemory(64)
+    memory.store32(0, 0x0A0B0C0D)
+    assert memory.load8u(0) == 0x0D
+    assert memory.load8u(3) == 0x0A
+
+
+def test_out_of_bounds_read_faults():
+    memory = GuestMemory(4096)
+    with pytest.raises(MemoryFault):
+        memory.load32(4096)
+    with pytest.raises(MemoryFault):
+        memory.load32(4093)  # straddles the end
+    with pytest.raises(MemoryFault):
+        memory.load8u(1 << 20)
+
+
+def test_out_of_bounds_write_faults():
+    memory = GuestMemory(4096)
+    with pytest.raises(MemoryFault):
+        memory.store8(4096, 1)
+    with pytest.raises(MemoryFault):
+        memory.store32(4094, 1)
+
+
+def test_write_only_policy_still_blocks_writes():
+    memory = GuestMemory(4096, check_policy=CHECK_WRITE_ONLY)
+    with pytest.raises(MemoryFault):
+        memory.store32(1 << 20, 1)
+
+
+def test_unknown_policy_rejected():
+    with pytest.raises(ValueError):
+        GuestMemory(4096, check_policy="sometimes")
+
+
+def test_grow_and_limits():
+    memory = GuestMemory(4096, limit=16384)
+    assert memory.grow(8192) == 8192
+    assert memory.size == 8192
+    assert memory.grow(100) == 8192  # shrinking is a no-op
+    with pytest.raises(ResourceLimitExceeded):
+        memory.grow(32768)
+
+
+def test_size_must_respect_architecture_ceiling():
+    with pytest.raises(ValueError):
+        GuestMemory(4096, limit=GUEST_ADDRESS_SPACE_LIMIT * 2)
+    with pytest.raises(ValueError):
+        GuestMemory(0)
+    with pytest.raises(ValueError):
+        GuestMemory(8192, limit=4096)
+
+
+def test_bulk_helpers_validate_ranges():
+    memory = GuestMemory(4096)
+    memory.write_bytes(10, b"abcdef")
+    assert memory.read_bytes(10, 6) == b"abcdef"
+    with pytest.raises(MemoryFault):
+        memory.write_bytes(4090, b"0123456789")
+    with pytest.raises(MemoryFault):
+        memory.read_bytes(4000, 1000)
+
+
+def test_read_cstring():
+    memory = GuestMemory(4096)
+    memory.write_bytes(0, b"hello\x00world")
+    assert memory.read_cstring(0) == b"hello"
+    assert memory.read_cstring(6) == b"world"
+
+
+def test_reset_zeroes_memory():
+    memory = GuestMemory(4096)
+    memory.store32(0, 0xFFFFFFFF)
+    memory.reset()
+    assert memory.load32(0) == 0
+
+
+@given(
+    address=st.integers(min_value=0, max_value=4092),
+    value=st.integers(min_value=0, max_value=2**32 - 1),
+)
+def test_store_load_round_trip_property(address, value):
+    """Property: any 32-bit value stored in bounds is read back identically."""
+    memory = GuestMemory(4096, check_policy=CHECK_FULL)
+    memory.store32(address, value)
+    assert memory.load32(address) == value
+
+
+@given(
+    address=st.integers(min_value=-(2**31), max_value=2**32),
+    size=st.sampled_from([1, 2, 4]),
+)
+def test_no_access_escapes_the_sandbox_property(address, size):
+    """Property: every access is either in bounds or faults; none escapes."""
+    memory = GuestMemory(4096)
+    loaders = {1: memory.load8u, 2: memory.load16u, 4: memory.load32}
+    in_bounds = 0 <= address <= 4096 - size
+    try:
+        loaders[size](address)
+        assert in_bounds
+    except MemoryFault:
+        assert not in_bounds
+
+
+def test_check_none_policy_documented_as_unsafe():
+    """The 'none' policy exists only for measuring check overhead."""
+    memory = GuestMemory(4096, check_policy=CHECK_NONE)
+    # Within the backing store it behaves normally.
+    memory.store32(0, 5)
+    assert memory.load32(0) == 5
+    # Past the backing store Python itself still stops reads from escaping,
+    # returning short data that triggers a fault rather than silently reading
+    # host memory.
+    with pytest.raises(MemoryFault):
+        memory.load32(8192)

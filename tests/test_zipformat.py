@@ -1,0 +1,184 @@
+"""Tests for the from-scratch ZIP container layer."""
+
+import io
+import zipfile
+import zlib
+
+import pytest
+from hypothesis import given, strategies as st
+
+from repro.errors import ZipFormatError
+from repro.zipformat.crc import StreamingCrc32, crc32
+from repro.zipformat.reader import ZipReader
+from repro.zipformat.structures import (
+    ExtraField,
+    METHOD_DEFLATE,
+    METHOD_STORE,
+    METHOD_VXA,
+    dos_datetime,
+    pack_extra_fields,
+    unpack_extra_fields,
+)
+from repro.zipformat.writer import ZipWriter, deflate_compress, deflate_decompress
+
+
+# -- CRC-32 ---------------------------------------------------------------------
+
+
+def test_crc32_known_vectors():
+    assert crc32(b"") == 0
+    assert crc32(b"123456789") == 0xCBF43926
+    assert crc32(b"The quick brown fox jumps over the lazy dog") == 0x414FA339
+
+
+@given(st.binary(max_size=2000))
+def test_crc32_matches_zlib(data):
+    assert crc32(data) == zlib.crc32(data) & 0xFFFFFFFF
+
+
+@given(st.binary(max_size=500), st.binary(max_size=500))
+def test_crc32_streaming_equals_one_shot(part_a, part_b):
+    assert crc32(part_b, crc32(part_a)) == crc32(part_a + part_b)
+    streaming = StreamingCrc32()
+    streaming.update(part_a)
+    streaming.update(part_b)
+    assert streaming.value == crc32(part_a + part_b)
+
+
+# -- deflate helpers ----------------------------------------------------------------
+
+
+@given(st.binary(max_size=4000))
+def test_deflate_round_trip(data):
+    assert deflate_decompress(deflate_compress(data), len(data)) == data
+
+
+def test_deflate_size_mismatch_detected():
+    compressed = deflate_compress(b"hello world")
+    with pytest.raises(ZipFormatError):
+        deflate_decompress(compressed, 5)
+
+
+# -- extra fields ---------------------------------------------------------------------
+
+
+def test_extra_field_round_trip():
+    fields = [ExtraField(0x7856, b"payload"), ExtraField(0x0001, b"\x01\x02")]
+    packed = pack_extra_fields(fields)
+    unpacked = unpack_extra_fields(packed)
+    assert [(field.header_id, field.payload) for field in unpacked] == [
+        (0x7856, b"payload"),
+        (0x0001, b"\x01\x02"),
+    ]
+
+
+def test_dos_datetime_packing():
+    time_word, date_word = dos_datetime(2005, 12, 13, 14, 30, 20)
+    assert date_word >> 9 == 2005 - 1980
+    assert (date_word >> 5) & 0xF == 12
+    assert date_word & 0x1F == 13
+    assert time_word >> 11 == 14
+    assert (time_word >> 5) & 0x3F == 30
+
+
+# -- writer/reader round trips -----------------------------------------------------------
+
+
+def build_simple_archive() -> bytes:
+    writer = ZipWriter()
+    writer.add_member("readme.txt", b"hello vxzip", method=METHOD_STORE)
+    writer.add_deflate_member("src/main.c", b"int main() { return 0; }\n" * 50)
+    return writer.finish(b"test archive")
+
+
+def test_round_trip_store_and_deflate():
+    archive = build_simple_archive()
+    reader = ZipReader(archive)
+    assert reader.names() == ["readme.txt", "src/main.c"]
+    assert reader.read_member(reader.find("readme.txt")) == b"hello vxzip"
+    assert reader.read_member(reader.find("src/main.c")) == b"int main() { return 0; }\n" * 50
+    assert reader.comment == b"test archive"
+
+
+def test_missing_member_raises():
+    reader = ZipReader(build_simple_archive())
+    with pytest.raises(ZipFormatError):
+        reader.find("nope.txt")
+    assert "readme.txt" in reader
+    assert "nope.txt" not in reader
+
+
+def test_crc_corruption_detected():
+    archive = bytearray(build_simple_archive())
+    # Flip a byte inside the stored member's data ("hello vxzip").
+    index = archive.find(b"hello vxzip")
+    archive[index] ^= 0xFF
+    reader = ZipReader(bytes(archive))
+    with pytest.raises(ZipFormatError):
+        reader.read_member(reader.find("readme.txt"))
+
+
+def test_pseudo_files_are_hidden_but_reachable():
+    writer = ZipWriter()
+    writer.add_member("visible.txt", b"visible")
+    pseudo = writer.add_pseudo_file(b"decoder image bytes" * 100)
+    archive = writer.finish()
+    reader = ZipReader(archive)
+    assert reader.names() == ["visible.txt"]               # pseudo-file not listed
+    entry, data = reader.read_member_at(pseudo.local_header_offset)
+    assert data == b"decoder image bytes" * 100
+    assert entry.name == ""
+    assert entry.method == METHOD_DEFLATE                   # decoders are deflated
+
+
+def test_vxa_method_members_not_readable_directly():
+    writer = ZipWriter()
+    writer.add_member("weird.vxz", b"\x01\x02\x03", method=METHOD_VXA,
+                      uncompressed_size=100, crc=0)
+    reader = ZipReader(writer.finish())
+    with pytest.raises(ZipFormatError):
+        reader.read_member(reader.find("weird.vxz"))
+    assert reader.read_stored_bytes(reader.find("weird.vxz")) == b"\x01\x02\x03"
+
+
+def test_truncated_archive_rejected():
+    archive = build_simple_archive()
+    with pytest.raises(ZipFormatError):
+        ZipReader(archive[: len(archive) // 2])
+    with pytest.raises(ZipFormatError):
+        ZipReader(b"not a zip at all")
+
+
+def test_writer_rejects_use_after_finish():
+    writer = ZipWriter()
+    writer.add_member("a", b"a")
+    writer.finish()
+    with pytest.raises(ZipFormatError):
+        writer.add_member("b", b"b")
+    with pytest.raises(ZipFormatError):
+        writer.finish()
+
+
+# -- interoperability with the standard library --------------------------------------------
+
+
+def test_stdlib_zipfile_can_list_and_extract_standard_members():
+    """Archives we write are genuine ZIP files old tools can partially use."""
+    archive = build_simple_archive()
+    with zipfile.ZipFile(io.BytesIO(archive)) as handle:
+        assert handle.namelist() == ["readme.txt", "src/main.c"]
+        assert handle.read("readme.txt") == b"hello vxzip"
+        assert handle.read("src/main.c") == b"int main() { return 0; }\n" * 50
+        assert handle.testzip() is None
+
+
+def test_stdlib_zipfile_round_trip_into_our_reader():
+    """We can read archives produced by an unmodified ZIP implementation."""
+    buffer = io.BytesIO()
+    with zipfile.ZipFile(buffer, "w", zipfile.ZIP_DEFLATED) as handle:
+        handle.writestr("alpha.txt", b"alpha contents")
+        handle.writestr("beta/gamma.txt", b"gamma contents" * 200)
+    reader = ZipReader(buffer.getvalue())
+    assert set(reader.names()) == {"alpha.txt", "beta/gamma.txt"}
+    assert reader.read_member(reader.find("alpha.txt")) == b"alpha contents"
+    assert reader.read_member(reader.find("beta/gamma.txt")) == b"gamma contents" * 200
