@@ -9,8 +9,11 @@ information leakage -- hence the recommendation to re-initialise whenever
 security attributes change.
 """
 
+import io
+
 from conftest import emit_report
 
+import repro.api as vxa
 from repro.bench.harness import time_callable
 from repro.bench.reporting import format_ratio, format_table
 from repro.core.policy import SecurityAttributes, VmReusePolicy, reuse_groups
@@ -68,9 +71,44 @@ def test_ablation_vm_reuse(benchmark, registry):
         "\n\nreuse-same-attributes grouping of a mixed archive "
         f"(8 files, every 4th private): {len(groups)} VM initialisations"
     )
+
+    # End-to-end through the facade: the DecoderSession enforces the policy
+    # against each member's recorded security attributes during a whole-
+    # archive integrity check, and counts reuse vs re-initialisation.
+    buffer = io.BytesIO()
+    with vxa.create(buffer) as builder:
+        for index in range(8):
+            attributes = SecurityAttributes(mode=0o644 if index % 4 else 0o600)
+            builder.add(f"batch/file{index}.txt",
+                        synthetic_source_file(FILE_SIZE, seed=300 + index).encode(),
+                        attributes=attributes)
+    session_rows = []
+    for policy in VmReusePolicy:
+        buffer.seek(0)
+        with vxa.open(buffer) as archive:
+            report = archive.check(reuse=policy)
+        assert report.ok
+        session_rows.append([policy.value, report.vm_initialisations,
+                             report.vm_reuses])
+    table += "\n\n" + format_table(
+        ["DecoderSession policy", "VM initialisations", "VM state reuses"],
+        session_rows,
+        title="Facade integrity check over 8 mixed-attribute files, one shared decoder",
+    )
     emit_report("ablation_vm_reuse", table)
 
     # Reuse must help on many-small-file archives (translation and image load
     # are amortised); require a measurable improvement.
     assert speedup > 1.15
     assert 1 < len(groups) < 8
+
+    by_policy = {row[0]: row for row in session_rows}
+    # Safe default: a pristine image per file, nothing reused.
+    assert by_policy["always-fresh"][1:] == [8, 0]
+    # Full reuse: one initialisation, every other decode rides the warm VM.
+    assert by_policy["always-reuse"][1:] == [1, 7]
+    # Attribute-aware: re-initialise exactly when the protection domain flips
+    # (every 4th file is 0o600), reuse inside each run of equal attributes.
+    fresh, reused = by_policy["reuse-same-attributes"][1:]
+    assert fresh + reused == 8
+    assert 1 < fresh < 8

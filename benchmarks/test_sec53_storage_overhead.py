@@ -13,10 +13,12 @@ roughly as 1/N and the lossless case being far below the lossy one -- is the
 reproduced result.
 """
 
+import io
+
 from conftest import emit_report
 
+import repro.api as vxa
 from repro.bench.reporting import format_kb, format_percent, format_table
-from repro.core.archive_writer import ArchiveWriter
 from repro.formats.wav import write_wav
 from repro.workloads.audio import synthetic_music
 
@@ -35,11 +37,12 @@ def _songs(count: int) -> dict[str, bytes]:
 
 
 def _build_archive(files: dict[str, bytes], *, lossy: bool):
-    writer = ArchiveWriter(allow_lossy=lossy)
-    for name, data in files.items():
-        writer.add_file(name, data, codec="vxsnd" if lossy else "vxflac")
-    archive = writer.finish()
-    return archive, writer.manifest
+    buffer = io.BytesIO()
+    with vxa.create(buffer, vxa.WriteOptions(allow_lossy=lossy)) as builder:
+        for name, data in files.items():
+            builder.add(name, data, codec="vxsnd" if lossy else "vxflac")
+        manifest = builder.finish()
+    return buffer.getvalue(), manifest
 
 
 def test_sec53_storage_overhead(benchmark):

@@ -11,12 +11,13 @@ data with it, and then extracts the data using only the archived decoder.
 Run with:  python examples/custom_codec_plugin.py
 """
 
+import io
 import random
 import struct
 
+import repro.api as vxa
 from repro.codecs.base import Codec, CodecInfo
 from repro.codecs.registry import CodecRegistry
-from repro.core import ArchiveReader, ArchiveWriter, MODE_VXA
 from repro.errors import CodecError
 from repro.vxc.compiler import CATEGORY_DECODER, CATEGORY_LIBRARY, SourceUnit
 from repro.codecs.guest.lib import LIB_IO
@@ -133,18 +134,21 @@ def main() -> None:
     registry = CodecRegistry()                 # the six standard codecs...
     registry.register(TelemetryRleCodec())     # ...plus our plug-in
 
-    writer = ArchiveWriter(registry)
-    info = writer.add_file("telemetry/day001.bin", telemetry, codec="vxrle")
-    archive = writer.finish()
+    buffer = io.BytesIO()
+    with vxa.create(buffer, vxa.WriteOptions(registry=registry)) as builder:
+        info = builder.add("telemetry/day001.bin", telemetry, codec="vxrle")
+        manifest = builder.finish()
     print(f"telemetry dump : {info.original_size} bytes")
     print(f"stored as      : {info.stored_size} bytes with codec {info.codec}")
-    print(f"archive        : {len(archive)} bytes, decoders embedded: "
-          f"{[d.codec_name for d in writer.manifest.decoders]}")
+    print(f"archive        : {manifest.archive_size} bytes, decoders embedded: "
+          f"{[d.codec_name for d in manifest.decoders]}")
 
     # A reader that has never heard of 'vxrle' still extracts the data,
     # because the decoder travels with the archive.
-    reader = ArchiveReader(archive, registry=CodecRegistry())
-    result = reader.extract("telemetry/day001.bin", mode=MODE_VXA)
+    buffer.seek(0)
+    with vxa.open(buffer, vxa.ReadOptions(mode=vxa.MODE_VXA,
+                                          registry=CodecRegistry())) as archive:
+        result = archive.extract("telemetry/day001.bin")
     print(f"extracted      : {len(result.data)} bytes via archived "
           f"{result.codec_name} decoder (match: {result.data == telemetry})")
 

@@ -19,13 +19,14 @@ The script:
 Run with:  python examples/durable_media_archive.py
 """
 
+import io
+
 import numpy as np
 
+import repro.api as vxa
 from repro.codecs.registry import CodecRegistry
 from repro.codecs.vximg import VximgCodec
-from repro.codecs.vxsnd import VxsndCodec
 from repro.codecs.vxz import VxzCodec
-from repro.core import ArchiveReader, ArchiveWriter, MODE_VXA
 from repro.formats.bmp import read_bmp
 from repro.formats.ppm import write_ppm
 from repro.formats.wav import read_wav, write_wav
@@ -43,32 +44,37 @@ def main() -> None:
     # One file arrives already compressed by an "old tool" (the redec path).
     legacy_image = VximgCodec(quality=60).encode_pixels(synthetic_photo(48, 48, seed=30))
 
-    writer = ArchiveWriter(allow_lossy=True)
-    for name, pixels in photos.items():
-        writer.add_file(name, write_ppm(pixels))
-    for name, audio in songs.items():
-        writer.add_file(name, write_wav(audio), codec="vxsnd")         # lossy, like Ogg
-        writer.add_file(name.replace(".wav", ".lossless.wav"), write_wav(audio),
+    buffer = io.BytesIO()
+    with vxa.create(buffer, vxa.WriteOptions(allow_lossy=True)) as builder:
+        for name, pixels in photos.items():
+            builder.add(name, write_ppm(pixels))
+        for name, audio in songs.items():
+            builder.add(name, write_wav(audio), codec="vxsnd")         # lossy, like Ogg
+            builder.add(name.replace(".wav", ".lossless.wav"), write_wav(audio),
                         codec="vxflac")                                 # archival master
-    writer.add_file("legacy/scan_1999.vxi", legacy_image)
-    archive = writer.finish()
-    manifest = writer.manifest
+        builder.add("legacy/scan_1999.vxi", legacy_image)
+        manifest = builder.finish()
 
     print("=== archive written today ===")
     for info in manifest.files:
         kind = "pre-compressed" if info.precompressed else f"encoded with {info.codec}"
         print(f"  {info.name:32s} {info.original_size:7d} -> {info.stored_size:7d} bytes ({kind})")
-    print(f"  total archive: {len(archive)} bytes, "
+    print(f"  total archive: {manifest.archive_size} bytes, "
           f"decoder overhead {manifest.decoder_overhead_fraction * 100:.1f}% "
           f"({manifest.decoder_overhead_bytes} bytes across "
           f"{len(manifest.decoders)} embedded decoders)")
 
     # ----------------------------------------------------------- decades later
     print("\n=== decades later: no media codecs installed ===")
-    future_registry = CodecRegistry([VxzCodec()], default="vxz")
-    reader = ArchiveReader(archive, registry=future_registry)
+    future_options = vxa.ReadOptions(
+        mode=vxa.MODE_VXA,
+        force_decode=True,
+        registry=CodecRegistry([VxzCodec()], default="vxz"),
+    )
+    buffer.seek(0)
+    reader = vxa.open(buffer, future_options)
     for name in reader.names():
-        result = reader.extract(name, mode=MODE_VXA, force_decode=True)
+        result = reader.extract(name)
         if result.data[:2] == b"BM":
             pixels = read_bmp(result.data)
             detail = f"BMP image {pixels.shape[1]}x{pixels.shape[0]}"
@@ -83,19 +89,20 @@ def main() -> None:
         else:
             detail = f"raw data, {len(result.data)} bytes"
         print(f"  {name:32s} -> {detail}   [decoded by archived {result.codec_name} decoder]")
+    reader.close()
 
     # --------------------------------------------------- storage amortisation
     print("\n=== decoder overhead amortisation (paper section 5.3) ===")
     for count in (1, 4, 8):
-        writer_n = ArchiveWriter(allow_lossy=True)
-        for index in range(count):
-            writer_n.add_file(f"track_{index}.wav",
+        with vxa.create(io.BytesIO(), vxa.WriteOptions(allow_lossy=True)) as builder_n:
+            for index in range(count):
+                builder_n.add(f"track_{index}.wav",
                               write_wav(synthetic_music(seconds=1.0, sample_rate=16000,
                                                         channels=2, seed=40 + index)),
                               codec="vxsnd")
-        archive_n = writer_n.finish()
-        overhead = writer_n.manifest.decoder_overhead_fraction
-        print(f"  {count:2d} song(s): archive {len(archive_n):8d} bytes, "
+            manifest_n = builder_n.finish()
+        overhead = manifest_n.decoder_overhead_fraction
+        print(f"  {count:2d} song(s): archive {manifest_n.archive_size:8d} bytes, "
               f"decoder overhead {overhead * 100:5.2f}%")
 
 

@@ -1,23 +1,28 @@
 #!/usr/bin/env python3
 """Quickstart: create a vxZIP archive, then read it back with *no* codec knowledge.
 
-This walks the core VXA loop from the paper:
+This walks the core VXA loop from the paper, using the streaming
+``repro.api`` facade:
 
-1. the archiver compresses a handful of files with whatever codecs fit,
-   embedding each codec's decoder (a VXA-32 ELF executable) in the archive;
-2. an archive reader that knows nothing about the codecs loads those archived
-   decoders into the sandboxed virtual machine and recovers every file;
+1. ``vxa.create`` compresses a handful of files with whatever codecs fit,
+   embedding each codec's decoder (a VXA-32 ELF executable) in the archive,
+   writing straight to disk;
+2. ``vxa.open`` -- on a reader that knows nothing about the codecs -- loads
+   those archived decoders into the sandboxed virtual machine and recovers
+   every file, streaming member contents without slurping the archive;
 3. the archive is still a genuine ZIP file that ordinary tools can list.
 
 Run with:  python examples/quickstart.py
 """
 
-import io
+import pathlib
+import tempfile
 import zipfile
 
+import repro.api as vxa
 from repro.codecs.registry import CodecRegistry
 from repro.codecs.vxz import VxzCodec
-from repro.core import ArchiveReader, ArchiveWriter, MODE_VXA, check_archive, format_report
+from repro.core.integrity import format_report
 from repro.formats.ppm import write_ppm
 from repro.formats.wav import write_wav
 from repro.workloads.audio import synthetic_music
@@ -35,39 +40,53 @@ def main() -> None:
         ),
     }
 
+    workdir = pathlib.Path(tempfile.mkdtemp(prefix="vxa-quickstart-"))
+    archive_path = workdir / "project.zip"
+
     # ------------------------------------------------------- write the archive
-    writer = ArchiveWriter(allow_lossy=True)
-    for name, data in files.items():
-        info = writer.add_file(name, data)
-        print(f"archived {name:28s} {info.original_size:7d} -> {info.stored_size:7d} bytes "
-              f"(codec={info.codec})")
-    archive = writer.finish()
-    manifest = writer.manifest
-    print(f"\narchive size          : {len(archive)} bytes")
+    with vxa.create(archive_path, vxa.WriteOptions(allow_lossy=True)) as builder:
+        for name, data in files.items():
+            info = builder.add(name, data)
+            print(f"archived {name:28s} {info.original_size:7d} -> "
+                  f"{info.stored_size:7d} bytes (codec={info.codec})")
+        manifest = builder.finish()
+    print(f"\narchive size          : {manifest.archive_size} bytes -> {archive_path}")
     print(f"decoders embedded     : {[d.codec_name for d in manifest.decoders]}")
     print(f"decoder space overhead: {manifest.decoder_overhead_fraction * 100:.1f}%")
 
     # --------------------------------------------- ordinary tools still work
-    with zipfile.ZipFile(io.BytesIO(archive)) as plain_zip:
+    with zipfile.ZipFile(archive_path) as plain_zip:
         print(f"\nstandard zipfile sees : {plain_zip.namelist()}")
 
     # ------------------------- read it back using only the archived decoders
     # The reader gets a registry containing nothing but the mandatory default,
     # and we force VXA mode anyway: every byte below is produced by decoders
-    # that travelled inside the archive, running in the sandboxed VM.
-    minimal_registry = CodecRegistry([VxzCodec()], default="vxz")
-    reader = ArchiveReader(archive, registry=minimal_registry)
-    print("\nextracting with archived decoders only:")
-    for name in reader.names():
-        result = reader.extract(name, mode=MODE_VXA)
-        original = files[name]
-        note = "bit-identical" if result.data == original else \
-            f"decoded to {result.codec_name} output ({len(result.data)} bytes)"
-        print(f"  {name:28s} via {result.codec_name:7s} decoder in VM -> {note}")
+    # that travelled inside the archive, running in the sandboxed VM.  The
+    # facade streams from the file on disk -- the archive is never loaded
+    # into memory as one blob.
+    options = vxa.ReadOptions(
+        mode=vxa.MODE_VXA,
+        registry=CodecRegistry([VxzCodec()], default="vxz"),
+    )
+    with vxa.open(archive_path, options) as archive:
+        print("\nextracting with archived decoders only:")
+        for name in archive.names():
+            result = archive.extract(name)
+            original = files[name]
+            note = "bit-identical" if result.data == original else \
+                f"decoded to {result.codec_name} output ({len(result.data)} bytes)"
+            print(f"  {name:28s} via {result.codec_name:7s} decoder in VM -> {note}")
 
-    # ----------------------------------------------------- integrity checking
-    report = check_archive(archive)
-    print("\n" + format_report(report))
+        # Streaming access: read the first kilobyte of a member without
+        # extracting the rest.
+        with archive.open_member("project/src/main.c") as stream:
+            head = stream.read(1024)
+        print(f"\nstreamed first {len(head)} bytes of project/src/main.c "
+              f"({head[:32]!r}...)")
+
+        # ------------------------------------------------- integrity checking
+        report = archive.check()
+        print("\n" + format_report(report))
 
 
 if __name__ == "__main__":

@@ -1,17 +1,84 @@
 """Reproduction of "VXA: A Virtual Architecture for Durable Compressed Archives".
 
-Public API highlights
----------------------
+Public API
+----------
 
-* :class:`repro.core.ArchiveWriter` / :class:`repro.core.ArchiveReader` --
-  the vxZIP / vxUnZIP tools.
-* :class:`repro.vm.VirtualMachine` -- the vx32-analogue sandbox that runs
-  archived decoders.
-* :mod:`repro.codecs` -- the codec plug-ins (native encoders + VXA guest
-  decoders) shipped with the prototype.
-* :mod:`repro.vxc` -- the small C-like compiler used to build guest decoders.
+The supported surface is the streaming, session-oriented facade in
+:mod:`repro.api`, re-exported here::
+
+    import repro
+
+    with repro.create("backup.zip") as builder:
+        builder.add("notes.txt", b"hello")
+
+    with repro.open("backup.zip") as archive:
+        data = archive.extract("notes.txt").data
+
+* :func:`repro.open` / :func:`repro.create` -- open an archive for reading
+  or start building one, over a path or a seekable file object.
+* :class:`repro.Archive` / :class:`repro.ArchiveBuilder` -- the session
+  objects those return (context managers).
+* :class:`repro.ReadOptions` / :class:`repro.WriteOptions` -- frozen
+  configuration (extraction mode, engine, execution limits, VM reuse
+  policy; codec registry, lossy policy, decoder attachment).
+* :mod:`repro.errors` -- the exception hierarchy, rooted at
+  :class:`repro.errors.VxaError`.
+
+Lower layers remain importable for tooling and experiments:
+:class:`repro.vm.VirtualMachine` (the vx32-analogue sandbox that runs
+archived decoders), :mod:`repro.codecs` (native encoders + VXA guest
+decoders), and :mod:`repro.vxc` (the small C-like compiler used to build
+guest decoders).  The historical ``repro.core.ArchiveReader`` /
+``repro.core.ArchiveWriter`` classes are deprecated shims over the facade.
 """
 
-__version__ = "0.1.0"
+from repro.api import (
+    Archive,
+    ArchiveBuilder,
+    DecoderSession,
+    MODE_AUTO,
+    MODE_NATIVE,
+    MODE_VXA,
+    ReadOptions,
+    SecurityAttributes,
+    VmReusePolicy,
+    WriteOptions,
+    create,
+    open,
+)
+from repro.errors import (
+    ArchiveError,
+    CodecError,
+    DecoderMissingError,
+    GuestFault,
+    IntegrityError,
+    PathTraversalError,
+    VxaError,
+    ZipFormatError,
+)
 
-__all__ = ["__version__"]
+__version__ = "0.2.0"
+
+__all__ = [
+    "__version__",
+    "open",
+    "create",
+    "Archive",
+    "ArchiveBuilder",
+    "ReadOptions",
+    "WriteOptions",
+    "DecoderSession",
+    "SecurityAttributes",
+    "VmReusePolicy",
+    "MODE_AUTO",
+    "MODE_NATIVE",
+    "MODE_VXA",
+    "VxaError",
+    "ArchiveError",
+    "CodecError",
+    "DecoderMissingError",
+    "GuestFault",
+    "IntegrityError",
+    "PathTraversalError",
+    "ZipFormatError",
+]

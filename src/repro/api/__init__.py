@@ -1,0 +1,103 @@
+"""``repro.api`` -- the public, streaming, session-oriented archive facade.
+
+This package is the single supported surface for working with vxZIP
+archives::
+
+    import repro.api as vxa
+
+    # Build an archive straight onto disk.
+    with vxa.create("backup.zip", vxa.WriteOptions(allow_lossy=True)) as builder:
+        builder.add("notes.txt", b"hello")
+
+    # Read it back without ever loading the whole file into memory.
+    with vxa.open("backup.zip") as archive:
+        data = archive.extract("notes.txt").data
+        with archive.open_member("notes.txt") as stream:
+            first = stream.read(4096)          # chunked streaming decode
+        report = archive.check()               # always-run-the-decoder check
+
+Both :func:`open` and :func:`create` accept either a filesystem path or a
+seekable binary file object; configuration is carried by the frozen
+:class:`ReadOptions` / :class:`WriteOptions` dataclasses, and decoder VM
+lifecycle (the paper's section 2.4 reuse-vs-reinitialise trade-off) is
+owned by one :class:`DecoderSession` per archive.
+"""
+
+from __future__ import annotations
+
+import builtins
+import os
+
+from repro.api.archive import (
+    Archive,
+    ExtractionRecord,
+    MemberInfo,
+    safe_extract_path,
+)
+from repro.api.builder import ArchiveBuilder, ArchivedFileInfo, ArchiveManifest
+from repro.api.options import ReadOptions, WriteOptions
+from repro.api.session import DecoderSession, SessionStats
+from repro.core.archive_reader import (
+    ExtractedFile,
+    IntegrityReport,
+    MODE_AUTO,
+    MODE_NATIVE,
+    MODE_VXA,
+)
+from repro.core.policy import SecurityAttributes, VmReusePolicy
+
+__all__ = [
+    "open",
+    "create",
+    "Archive",
+    "ArchiveBuilder",
+    "ReadOptions",
+    "WriteOptions",
+    "DecoderSession",
+    "SessionStats",
+    "ExtractedFile",
+    "ExtractionRecord",
+    "ArchivedFileInfo",
+    "ArchiveManifest",
+    "IntegrityReport",
+    "MemberInfo",
+    "SecurityAttributes",
+    "VmReusePolicy",
+    "MODE_AUTO",
+    "MODE_NATIVE",
+    "MODE_VXA",
+    "safe_extract_path",
+]
+
+
+def open(source, options: ReadOptions | None = None) -> Archive:
+    """Open a vxZIP archive for reading.
+
+    ``source`` may be a filesystem path (opened and owned by the returned
+    :class:`Archive`), a seekable binary file object, or -- for convenience
+    and the deprecated shims -- in-memory ``bytes``.
+    """
+    if isinstance(source, (str, os.PathLike)):
+        file = builtins.open(source, "rb")
+        try:
+            return Archive(file, options, owns_file=True)
+        except BaseException:
+            file.close()
+            raise
+    return Archive(source, options)
+
+
+def create(target, options: WriteOptions | None = None) -> ArchiveBuilder:
+    """Start building a vxZIP archive.
+
+    ``target`` may be a filesystem path (created and owned by the returned
+    :class:`ArchiveBuilder`) or a writable binary file object.
+    """
+    if isinstance(target, (str, os.PathLike)):
+        file = builtins.open(target, "wb")
+        try:
+            return ArchiveBuilder(file, options, owns_file=True)
+        except BaseException:
+            file.close()
+            raise
+    return ArchiveBuilder(target, options)

@@ -1,0 +1,452 @@
+"""The streaming, session-oriented archive reading facade.
+
+:class:`Archive` replaces the whole-buffer ``ArchiveReader(archive: bytes)``
+API: it operates on a seekable file object (the central directory is parsed
+from the archive tail, member payloads are fetched by offset in bounded
+chunks), so a multi-gigabyte archive is never held in memory.  All
+behavioural knobs live in one frozen :class:`~repro.api.options.ReadOptions`
+and decoder VM lifecycle is owned by a single
+:class:`~repro.api.session.DecoderSession` per archive.
+"""
+
+from __future__ import annotations
+
+import io
+import pathlib
+from dataclasses import dataclass
+from typing import Iterator
+
+from repro.codecs.registry import default_registry
+from repro.core.archive_reader import (
+    ExtractedFile,
+    IntegrityReport,
+    MODE_AUTO,
+    MODE_NATIVE,
+    MODE_VXA,
+)
+from repro.core.extension import VxaExtension, parse_extension, parse_unix_extra
+from repro.core.policy import SecurityAttributes, VmReusePolicy
+from repro.errors import (
+    ArchiveError,
+    DecoderMissingError,
+    GuestFault,
+    IntegrityError,
+    PathTraversalError,
+)
+from repro.vm.limits import ExecutionLimits
+from repro.zipformat.crc import crc32
+from repro.zipformat.reader import ZipReader
+from repro.zipformat.structures import METHOD_STORE, METHOD_VXA, ZipEntry
+
+from repro.api.options import ReadOptions
+from repro.api.session import DecoderSession
+
+
+@dataclass(frozen=True)
+class MemberInfo:
+    """Listing metadata for one archive member."""
+
+    name: str
+    stored_size: int
+    original_size: int
+    method: int
+    codec_name: str | None
+    precompressed: bool
+    lossy: bool
+    has_decoder: bool
+    attributes: SecurityAttributes
+
+
+@dataclass
+class ExtractionRecord:
+    """What :meth:`Archive.extract_into` did with one member."""
+
+    name: str
+    path: pathlib.Path
+    size: int
+    used_vxa_decoder: bool
+    decoded: bool
+    codec_name: str | None
+
+
+class _MemberStream(io.RawIOBase):
+    """Read-only raw stream over a member's (decoded) contents."""
+
+    def __init__(self, chunks: Iterator[bytes], name: str):
+        self._chunks = chunks
+        self._buffer = b""
+        self._name = name
+
+    def readable(self) -> bool:
+        return True
+
+    def readinto(self, target) -> int:
+        while not self._buffer:
+            chunk = next(self._chunks, None)
+            if chunk is None:
+                return 0
+            self._buffer = chunk
+        count = min(len(target), len(self._buffer))
+        target[:count] = self._buffer[:count]
+        self._buffer = self._buffer[count:]
+        return count
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging nicety
+        return f"<vxa member stream {self._name!r}>"
+
+
+def safe_extract_path(directory: pathlib.Path, member_name: str) -> pathlib.Path:
+    """Resolve ``member_name`` inside ``directory``, refusing zip-slip escapes.
+
+    Raises :class:`~repro.errors.PathTraversalError` for absolute member
+    names and for relative names (``../evil``) whose resolution lands
+    outside ``directory``.
+    """
+    if not member_name:
+        raise PathTraversalError("archive member has an empty name")
+    if member_name.startswith(("/", "\\")) or pathlib.PurePath(member_name).is_absolute():
+        raise PathTraversalError(
+            f"refusing to extract member with absolute path {member_name!r}"
+        )
+    base = directory.resolve()
+    target = (directory / member_name).resolve()
+    if not target.is_relative_to(base):
+        raise PathTraversalError(
+            f"member name {member_name!r} escapes the extraction directory"
+        )
+    return directory / member_name
+
+
+class Archive:
+    """A readable vxZIP archive over a seekable file object.
+
+    Use :func:`repro.api.open` rather than constructing directly.  The
+    archive is also a context manager; closing it releases the decoder
+    session's VMs and (when the facade opened the path itself) the file.
+    """
+
+    def __init__(self, file, options: ReadOptions | None = None, *,
+                 owns_file: bool = False):
+        if isinstance(file, (bytes, bytearray, memoryview)):
+            file = io.BytesIO(bytes(file))
+        self.options = options or ReadOptions()
+        self._file = file
+        self._owns_file = owns_file
+        self._zip = ZipReader(file)
+        self._registry = self.options.registry or default_registry()
+        self._limits = self.options.limits or ExecutionLimits()
+        self._decoder_cache: dict[int, bytes] = {}
+        self._session = DecoderSession(
+            self._load_decoder,
+            policy=self.options.reuse,
+            engine=self.options.engine,
+            limits=self._limits,
+        )
+        self._closed = False
+
+    # -- lifecycle ------------------------------------------------------------
+
+    @property
+    def session(self) -> DecoderSession:
+        """The decoder session owning VM lifecycle for this archive."""
+        return self._session
+
+    def close(self) -> None:
+        if self._closed:
+            return
+        self._closed = True
+        self._session.close()
+        if self._owns_file:
+            self._file.close()
+
+    def __enter__(self) -> "Archive":
+        return self
+
+    def __exit__(self, *exc_info) -> None:
+        self.close()
+
+    # -- listing --------------------------------------------------------------
+
+    def names(self) -> list[str]:
+        return self._zip.names()
+
+    def __len__(self) -> int:
+        return len(self._zip)
+
+    def __contains__(self, name: str) -> bool:
+        return name in self._zip
+
+    def entries(self) -> list[ZipEntry]:
+        return list(self._zip.entries)
+
+    def extension_for(self, name: str) -> VxaExtension | None:
+        return parse_extension(self._zip.find(name).extra)
+
+    def decoder_image_for(self, name: str) -> bytes | None:
+        """The raw decoder ELF attached to a member, if any."""
+        extension = self.extension_for(name)
+        if extension is None:
+            return None
+        return self._load_decoder(extension.decoder_offset)
+
+    def info(self, name: str) -> MemberInfo:
+        entry = self._zip.find(name)
+        extension = parse_extension(entry.extra)
+        return MemberInfo(
+            name=entry.name,
+            stored_size=entry.compressed_size,
+            original_size=(extension.original_size if extension
+                           else entry.uncompressed_size),
+            method=entry.method,
+            codec_name=extension.codec_name if extension else None,
+            precompressed=bool(extension and extension.precompressed),
+            lossy=bool(extension and extension.lossy),
+            has_decoder=extension is not None,
+            attributes=self._attributes_for(entry),
+        )
+
+    # -- extraction -----------------------------------------------------------
+
+    def extract(self, name: str, *, mode: str | None = None,
+                force_decode: bool | None = None,
+                _fresh_vm: bool | None = None) -> ExtractedFile:
+        """Extract one member fully into memory.
+
+        Pre-compressed members (the redec path) are returned in their stored,
+        still-compressed form unless ``force_decode`` is set, mirroring
+        vxUnZIP's default of leaving popular formats compressed on extraction.
+        """
+        entry = self._zip.find(name)
+        chunks, meta = self._member_pipeline(entry, mode, force_decode, _fresh_vm)
+        data = b"".join(chunks)
+        used_vxa, decoded, codec_name, precompressed = meta
+        return ExtractedFile(name, data, used_vxa, codec_name, precompressed,
+                             decoded=decoded)
+
+    def extract_all(self, *, mode: str | None = None,
+                    force_decode: bool | None = None) -> dict[str, ExtractedFile]:
+        """Extract every listed member; returns ``{name: ExtractedFile}``."""
+        return {
+            name: self.extract(name, mode=mode, force_decode=force_decode)
+            for name in self.names()
+        }
+
+    def open_member(self, name: str, *, mode: str | None = None,
+                    force_decode: bool | None = None) -> io.RawIOBase:
+        """A readable raw stream over a member's extracted contents.
+
+        Plain and pre-compressed members stream straight off the archive
+        file in bounded chunks; members needing an archived decoder are
+        decoded through the session first, then served chunk-wise.
+        """
+        entry = self._zip.find(name)
+        chunks, _ = self._member_pipeline(entry, mode, force_decode, None)
+        return _MemberStream(chunks, name)
+
+    def extract_to(self, name: str, writable, *, mode: str | None = None,
+                   force_decode: bool | None = None) -> int:
+        """Stream one member's extracted contents into ``writable``.
+
+        Returns the number of bytes written.
+        """
+        entry = self._zip.find(name)
+        chunks, _ = self._member_pipeline(entry, mode, force_decode, None)
+        written = 0
+        for chunk in chunks:
+            writable.write(chunk)
+            written += len(chunk)
+        return written
+
+    def extract_into(self, directory, names: list[str] | None = None, *,
+                     mode: str | None = None,
+                     force_decode: bool | None = None) -> list[ExtractionRecord]:
+        """Extract members under ``directory``, refusing zip-slip escapes.
+
+        Every member name is validated with :func:`safe_extract_path` before
+        anything touches the filesystem; a single escaping name aborts the
+        whole extraction with :class:`~repro.errors.PathTraversalError`.
+        """
+        directory = pathlib.Path(directory)
+        wanted = names if names is not None else self.names()
+        directory.mkdir(parents=True, exist_ok=True)
+        targets = [(name, safe_extract_path(directory, name)) for name in wanted]
+        records: list[ExtractionRecord] = []
+        for name, target in targets:
+            entry = self._zip.find(name)
+            chunks, meta = self._member_pipeline(entry, mode, force_decode, None)
+            used_vxa, decoded, codec_name, _ = meta
+            target.parent.mkdir(parents=True, exist_ok=True)
+            # Stream into a temporary sibling and rename on success, so an
+            # error mid-member (CRC mismatch, truncation, decoder fault)
+            # never leaves a partial file under the member's final name.
+            partial = target.with_name(target.name + ".vxa-partial")
+            written = 0
+            try:
+                with open(partial, "wb") as sink:
+                    for chunk in chunks:
+                        sink.write(chunk)
+                        written += len(chunk)
+            except BaseException:
+                partial.unlink(missing_ok=True)
+                raise
+            partial.replace(target)
+            records.append(ExtractionRecord(
+                name=name,
+                path=target,
+                size=written,
+                used_vxa_decoder=used_vxa,
+                decoded=decoded,
+                codec_name=codec_name,
+            ))
+        return records
+
+    # -- integrity ------------------------------------------------------------
+
+    def check(self, *, reuse: VmReusePolicy | None = None) -> IntegrityReport:
+        """Verify every member that carries a VXA decoder.
+
+        Integrity checks "always run the archived VXA decoder" (paper section
+        2.3) -- native decoders are never used here, so a bug that only
+        affects the archived decoder cannot hide behind the fast path.  The
+        check runs through a dedicated :class:`DecoderSession` honouring
+        ``reuse`` (default: this archive's configured policy), so per-file
+        :class:`SecurityAttributes` gate VM reuse exactly as section 2.4
+        prescribes; the report carries the session's reuse/re-init counters.
+        """
+        session = DecoderSession(
+            self._load_decoder,
+            policy=reuse if reuse is not None else self.options.reuse,
+            engine=self.options.engine,
+            limits=self._limits,
+        )
+        report = IntegrityReport()
+        for entry in self._zip.entries:
+            extension = parse_extension(entry.extra)
+            if extension is None:
+                continue
+            report.checked += 1
+            try:
+                encoded = self._encoded_bytes(entry, extension)
+                data = self._run_archived_decoder(
+                    session, entry, extension, encoded)
+            except (GuestFault, ArchiveError) as error:
+                report.failures.append(f"{entry.name}: {error}")
+                continue
+            if (len(data) != extension.original_size
+                    or crc32(data) != extension.original_crc32):
+                report.failures.append(
+                    f"{entry.name}: decoded output does not match its checksum")
+                continue
+            report.passed += 1
+        report.vm_initialisations = session.stats.vm_initialisations
+        report.vm_reuses = session.stats.vm_reuses
+        session.close()
+        return report
+
+    # -- internals ------------------------------------------------------------
+
+    def _attributes_for(self, entry: ZipEntry) -> SecurityAttributes:
+        """Per-file security attributes recovered from the member headers.
+
+        Mode bits come from the ZIP external attributes; owner/group from the
+        Info-ZIP Unix extra field when present, so ``same_domain`` compares
+        the full protection domain the writer recorded.
+        """
+        mode = (entry.external_attributes >> 16) & 0xFFFF
+        unix = parse_unix_extra(entry.extra)
+        owner, group = unix if unix is not None else (0, 0)
+        return SecurityAttributes(owner=owner, group=group, mode=mode or 0o644)
+
+    def _load_decoder(self, offset: int) -> bytes:
+        image = self._decoder_cache.get(offset)
+        if image is None:
+            _, image = self._zip.read_member_at(offset)
+            self._decoder_cache[offset] = image
+        return image
+
+    def _encoded_bytes(self, entry: ZipEntry, extension: VxaExtension) -> bytes:
+        if entry.method == METHOD_VXA:
+            return self._zip.read_stored_bytes(entry)
+        # Pre-compressed member stored with method 0: the member data *is* the
+        # encoded stream the decoder understands.
+        return self._zip.read_member(entry)
+
+    def _run_archived_decoder(self, session: DecoderSession, entry: ZipEntry,
+                              extension: VxaExtension, encoded: bytes,
+                              fresh_override: bool | None = None) -> bytes:
+        result = session.decode(
+            extension.decoder_offset,
+            encoded,
+            attributes=self._attributes_for(entry),
+            fresh_override=fresh_override,
+        )
+        if result.exit_code != 0:
+            raise IntegrityError(
+                f"archived decoder exited with status {result.exit_code}: "
+                f"{result.stderr.decode('latin-1', 'replace')!r}"
+            )
+        return result.output
+
+    def _member_pipeline(self, entry: ZipEntry, mode: str | None,
+                         force_decode: bool | None,
+                         fresh_override: bool | None):
+        """Plan the chunk stream for one member.
+
+        Returns ``(chunks, (used_vxa, decoded, codec_name, precompressed))``.
+        Plain and redec members stream lazily off the archive file; decoder
+        output is produced in full (it is one member, never the archive) and
+        then chunked.
+        """
+        mode = self.options.mode if mode is None else mode
+        if mode not in (MODE_AUTO, MODE_NATIVE, MODE_VXA):
+            raise ArchiveError(f"unknown extraction mode {mode!r}")
+        force = self.options.force_decode if force_decode is None else force_decode
+        chunk_size = self.options.chunk_size
+        extension = parse_extension(entry.extra)
+
+        if extension is None:
+            # Plain ZIP member: no VXA decoder involved.
+            chunks = self._zip.iter_member_chunks(entry, chunk_size=chunk_size)
+            return chunks, (False, True, None, False)
+
+        if entry.method == METHOD_STORE and extension.precompressed and not force:
+            # iter_member_chunks on a stored member streams the same bytes as
+            # iter_stored_chunks but verifies the member CRC as it goes.
+            chunks = self._zip.iter_member_chunks(entry, chunk_size=chunk_size)
+            return chunks, (False, False, extension.codec_name, True)
+
+        data, used_vxa = self._decode_member(entry, extension, mode, fresh_override)
+        chunks = (data[offset:offset + chunk_size]
+                  for offset in range(0, len(data), chunk_size))
+        if not data:
+            chunks = iter(())
+        return chunks, (used_vxa, True, extension.codec_name,
+                        extension.precompressed)
+
+    def _decode_member(self, entry: ZipEntry, extension: VxaExtension,
+                       mode: str, fresh_override: bool | None) -> tuple[bytes, bool]:
+        encoded = self._encoded_bytes(entry, extension)
+        codec = None
+        if extension.codec_name and extension.codec_name in self._registry:
+            codec = self._registry.get(extension.codec_name)
+        if mode == MODE_NATIVE:
+            if codec is None:
+                raise DecoderMissingError(
+                    f"no native decoder available for codec {extension.codec_name!r}"
+                )
+            data, used_vxa = codec.decode(encoded), False
+        elif mode == MODE_AUTO and codec is not None:
+            data, used_vxa = codec.decode(encoded), False
+        else:
+            # MODE_VXA, or AUTO with no native decoder: run the archived decoder.
+            data = self._run_archived_decoder(
+                self._session, entry, extension, encoded,
+                fresh_override=fresh_override)
+            used_vxa = True
+        if (len(data) != extension.original_size
+                or crc32(data) != extension.original_crc32):
+            raise IntegrityError(
+                f"member {entry.name!r} decoded to unexpected contents "
+                f"({len(data)} bytes vs {extension.original_size} expected)"
+            )
+        return data, used_vxa

@@ -1,0 +1,89 @@
+"""Frozen configuration objects for the :mod:`repro.api` facade.
+
+All the knobs that used to ride along as per-call keyword arguments on
+``ArchiveReader`` / ``ArchiveWriter`` (``mode``, ``engine``, ``vm_limits``,
+``fresh_vm``, ``reuse_policy``, ``allow_lossy``, ...) are consolidated here
+into two immutable dataclasses, fixed for the lifetime of an
+:class:`~repro.api.archive.Archive` or
+:class:`~repro.api.builder.ArchiveBuilder` session.  A scheduler can hand a
+session to a worker knowing its behaviour cannot drift mid-batch.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, replace
+
+from repro.codecs.registry import CodecRegistry
+from repro.core.archive_reader import MODE_AUTO, MODE_NATIVE, MODE_VXA
+from repro.core.policy import VmReusePolicy
+from repro.vm.limits import ExecutionLimits
+from repro.vm.machine import ENGINE_INTERPRETER, ENGINE_TRANSLATOR
+
+_MODES = (MODE_AUTO, MODE_NATIVE, MODE_VXA)
+_ENGINES = (ENGINE_TRANSLATOR, ENGINE_INTERPRETER)
+
+
+@dataclass(frozen=True)
+class ReadOptions:
+    """Session-wide configuration for reading an archive.
+
+    Attributes:
+        mode: default extraction mode -- ``"auto"`` (native decoder when
+            available, archived decoder otherwise), ``"native"`` or ``"vxa"``.
+        force_decode: decode pre-compressed (redec) members all the way to
+            their uncompressed form instead of returning the stored bytes.
+        engine: VM engine used for archived decoders (``"translator"`` or
+            ``"interpreter"``).
+        limits: resource ceilings for decoder runs (``None`` -> defaults).
+        reuse: VM reuse policy applied across members sharing a decoder
+            (paper section 2.4); enforced by the session's
+            :class:`~repro.api.session.DecoderSession`.
+        registry: codec registry for native fast paths (``None`` -> default).
+        chunk_size: unit for streamed member reads and writes.
+    """
+
+    mode: str = MODE_AUTO
+    force_decode: bool = False
+    engine: str = ENGINE_TRANSLATOR
+    limits: ExecutionLimits | None = None
+    reuse: VmReusePolicy = VmReusePolicy.ALWAYS_FRESH
+    registry: CodecRegistry | None = None
+    chunk_size: int = 1 << 16
+
+    def __post_init__(self):
+        if self.mode not in _MODES:
+            raise ValueError(f"unknown extraction mode {self.mode!r}")
+        if self.engine not in _ENGINES:
+            raise ValueError(f"unknown engine {self.engine!r}")
+        if self.chunk_size <= 0:
+            raise ValueError("chunk_size must be positive")
+        if not isinstance(self.reuse, VmReusePolicy):
+            raise TypeError("reuse must be a VmReusePolicy")
+
+    def with_changes(self, **changes) -> "ReadOptions":
+        """A copy of these options with some fields replaced."""
+        return replace(self, **changes)
+
+
+@dataclass(frozen=True)
+class WriteOptions:
+    """Session-wide configuration for building an archive.
+
+    Attributes:
+        registry: codec registry used for recognition/selection/encoding
+            (``None`` -> default).
+        allow_lossy: permit lossy media codecs during codec selection.
+        attach_decoders: embed VXA decoder pseudo-files (disable only for
+            the storage-overhead ablation; archives become undecodable by
+            codec-ignorant readers).
+        comment: ZIP end-of-central-directory comment.
+    """
+
+    registry: CodecRegistry | None = None
+    allow_lossy: bool = False
+    attach_decoders: bool = True
+    comment: bytes = b"vxZIP archive"
+
+    def with_changes(self, **changes) -> "WriteOptions":
+        """A copy of these options with some fields replaced."""
+        return replace(self, **changes)

@@ -1,0 +1,134 @@
+"""Decoder VM lifecycle management for one archive read session.
+
+Paper section 2.4: reusing VM state across files that share a decoder
+"may improve performance, especially on archives containing many small
+files", at the cost of potential cross-file information leakage; the
+recommended mitigation is to re-initialise whenever the security attributes
+of the files being processed change.  The old core scattered this decision
+across ad-hoc ``fresh_vm`` flags; :class:`DecoderSession` is now the single
+place that owns decoder VMs, applies the :class:`~repro.core.policy.VmReusePolicy`
+against each file's :class:`~repro.core.policy.SecurityAttributes`, and
+counts how often state was reused versus re-initialised (the ablation
+benchmark reports these counters).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Callable
+
+from repro.core.policy import SecurityAttributes, VmReusePolicy
+from repro.vm.limits import ExecutionLimits
+from repro.vm.machine import DecodeResult, ENGINE_TRANSLATOR, VirtualMachine
+
+
+@dataclass
+class SessionStats:
+    """Counters for one decoder session (feeds the section 2.4 ablation)."""
+
+    decodes: int = 0
+    vm_initialisations: int = 0     # pristine decoder image (re)loads
+    vm_reuses: int = 0              # decodes that kept previous VM state
+
+
+class DecoderSession:
+    """Owns one VM per decoder image and decides reuse vs re-initialise.
+
+    Args:
+        load_image: callable mapping a decoder pseudo-file offset to the raw
+            decoder ELF bytes (typically ``Archive._load_decoder``).
+        policy: the VM reuse policy enforced for every decode.
+        engine: VM engine for all decoder runs.
+        limits: session-wide resource ceilings (scaled per input).
+    """
+
+    def __init__(
+        self,
+        load_image: Callable[[int], bytes],
+        *,
+        policy: VmReusePolicy = VmReusePolicy.ALWAYS_FRESH,
+        engine: str = ENGINE_TRANSLATOR,
+        limits: ExecutionLimits | None = None,
+    ):
+        self._load_image = load_image
+        self.policy = policy
+        self._engine = engine
+        self._limits = limits or ExecutionLimits()
+        self._vms: dict[int, VirtualMachine] = {}
+        self._last_attributes: dict[int, SecurityAttributes] = {}
+        self.stats = SessionStats()
+
+    # -- policy ----------------------------------------------------------------
+
+    def _needs_fresh(self, decoder_offset: int,
+                     attributes: SecurityAttributes) -> bool:
+        """Must the VM be re-initialised before decoding this file?"""
+        if self.policy is VmReusePolicy.ALWAYS_FRESH:
+            return True
+        if self.policy is VmReusePolicy.ALWAYS_REUSE:
+            return False
+        previous = self._last_attributes.get(decoder_offset)
+        return previous is not None and not previous.same_domain(attributes)
+
+    # -- decoding --------------------------------------------------------------
+
+    def decode(
+        self,
+        decoder_offset: int,
+        encoded: bytes,
+        *,
+        attributes: SecurityAttributes | None = None,
+        limits: ExecutionLimits | None = None,
+        fresh_override: bool | None = None,
+    ) -> DecodeResult:
+        """Run the archived decoder at ``decoder_offset`` over ``encoded``.
+
+        ``attributes`` are the security attributes of the file being decoded;
+        under ``REUSE_SAME_ATTRIBUTES`` a change of protection domain forces
+        re-initialisation.  ``fresh_override`` bypasses the policy for legacy
+        callers (the deprecated ``fresh_vm`` flag) and should not be used by
+        new code.
+        """
+        attributes = attributes or SecurityAttributes()
+        vm = self._vms.get(decoder_offset)
+        if vm is None:
+            vm = VirtualMachine(
+                self._load_image(decoder_offset),
+                engine=self._engine,
+                limits=self._limits,
+            )
+            self._vms[decoder_offset] = vm
+            # Constructing the VM loads a pristine image, so the first decode
+            # never needs another reset regardless of policy.
+            fresh = False
+            self.stats.vm_initialisations += 1
+        elif fresh_override is not None:
+            fresh = fresh_override
+            self.stats.vm_initialisations += 1 if fresh else 0
+            self.stats.vm_reuses += 0 if fresh else 1
+        else:
+            fresh = self._needs_fresh(decoder_offset, attributes)
+            if fresh:
+                self.stats.vm_initialisations += 1
+            else:
+                self.stats.vm_reuses += 1
+        self._last_attributes[decoder_offset] = attributes
+        self.stats.decodes += 1
+        run_limits = limits or self._limits.scaled_for_input(len(encoded))
+        return vm.decode(encoded, limits=run_limits, fresh=fresh)
+
+    # -- lifecycle -------------------------------------------------------------
+
+    def reset(self) -> None:
+        """Drop all VM state (a pristine image is loaded on next use)."""
+        self._vms.clear()
+        self._last_attributes.clear()
+
+    def close(self) -> None:
+        self.reset()
+
+    def __enter__(self) -> "DecoderSession":
+        return self
+
+    def __exit__(self, *exc_info) -> None:
+        self.close()

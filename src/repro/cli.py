@@ -1,18 +1,21 @@
 """Command-line interface: the ``vxzip`` / ``vxunzip`` tools.
 
 The paper's prototype is a pair of command-line utilities that extend
-ZIP/UnZIP.  This module provides the equivalent front end over the library:
+ZIP/UnZIP.  This module provides the equivalent front end over the
+:mod:`repro.api` facade:
 
 * ``vxzip create ARCHIVE FILES...`` -- build an archive, auto-selecting codecs
   and embedding decoders (``--lossy`` permits lossy media codecs),
 * ``vxzip list ARCHIVE`` -- list members with their codecs and decoders,
-* ``vxzip extract ARCHIVE [-o DIR]`` -- extract members, optionally forcing
-  the archived VXA decoders (``--vxa``) or decoding pre-compressed members
-  all the way to their uncompressed form (``--force-decode``),
+* ``vxzip extract ARCHIVE [-o DIR]`` -- extract members (streaming, with
+  zip-slip protection), optionally forcing the archived VXA decoders
+  (``--vxa``) or decoding pre-compressed members all the way to their
+  uncompressed form (``--force-decode``),
 * ``vxzip check ARCHIVE`` -- the integrity check that always runs the
-  archived decoders.
+  archived decoders (``--reuse`` picks the section 2.4 VM-reuse policy).
 
-Usable as ``python -m repro.cli ...``.
+``vxunzip`` exposes the reading half (list/extract/check) under the name
+the paper uses for the extraction tool.  Usable as ``python -m repro.cli``.
 """
 
 from __future__ import annotations
@@ -21,66 +24,93 @@ import argparse
 import pathlib
 import sys
 
-from repro.core.archive_reader import ArchiveReader, MODE_AUTO, MODE_VXA
-from repro.core.archive_writer import ArchiveWriter
+import repro.api as vxa
 from repro.core.integrity import format_report
+from repro.core.policy import VmReusePolicy
 from repro.errors import VxaError
 
 
+def _read_options(args) -> vxa.ReadOptions:
+    mode = vxa.MODE_VXA if getattr(args, "vxa", False) else vxa.MODE_AUTO
+    reuse = VmReusePolicy(getattr(args, "reuse", VmReusePolicy.ALWAYS_FRESH.value))
+    return vxa.ReadOptions(
+        mode=mode,
+        force_decode=getattr(args, "force_decode", False),
+        reuse=reuse,
+    )
+
+
 def _cmd_create(args) -> int:
-    writer = ArchiveWriter(allow_lossy=args.lossy)
     root = pathlib.Path(args.root) if args.root else None
-    for file_name in args.files:
-        path = pathlib.Path(file_name)
-        data = path.read_bytes()
-        member = str(path.relative_to(root)) if root else path.name
-        info = writer.add_file(member, data, store_raw=args.store)
-        print(f"  adding {member}  ({info.original_size} -> {info.stored_size} bytes, "
-              f"codec={info.codec or 'none'})")
-    archive = writer.finish()
-    pathlib.Path(args.archive).write_bytes(archive)
-    manifest = writer.manifest
-    print(f"wrote {args.archive}: {len(archive)} bytes, "
+    with vxa.create(args.archive, vxa.WriteOptions(allow_lossy=args.lossy)) as builder:
+        for file_name in args.files:
+            path = pathlib.Path(file_name)
+            member = str(path.relative_to(root)) if root else path.name
+            info = builder.add_path(path, member, store_raw=args.store)
+            print(f"  adding {member}  ({info.original_size} -> {info.stored_size} bytes, "
+                  f"codec={info.codec or 'none'})")
+        manifest = builder.finish()
+    print(f"wrote {args.archive}: {manifest.archive_size} bytes, "
           f"{len(manifest.files)} member(s), {len(manifest.decoders)} embedded decoder(s), "
           f"decoder overhead {manifest.decoder_overhead_fraction * 100:.1f}%")
     return 0
 
 
 def _cmd_list(args) -> int:
-    reader = ArchiveReader(pathlib.Path(args.archive).read_bytes())
-    print(f"{'member':40s} {'stored':>10s} {'original':>10s} {'codec':>8s}  decoder")
-    for entry in reader.entries():
-        extension = reader.extension_for(entry.name)
-        codec = extension.codec_name if extension else "-"
-        decoder = (f"pseudo-file @0x{extension.decoder_offset:x}"
-                   if extension else "(none)")
-        flags = " [pre-compressed]" if extension and extension.precompressed else ""
-        print(f"{entry.name:40s} {entry.compressed_size:10d} {entry.uncompressed_size:10d} "
-              f"{codec:>8s}  {decoder}{flags}")
+    with vxa.open(args.archive) as archive:
+        print(f"{'member':40s} {'stored':>10s} {'original':>10s} {'codec':>8s}  decoder")
+        for entry in archive.entries():
+            extension = archive.extension_for(entry.name)
+            codec = extension.codec_name if extension else "-"
+            decoder = (f"pseudo-file @0x{extension.decoder_offset:x}"
+                       if extension else "(none)")
+            flags = " [pre-compressed]" if extension and extension.precompressed else ""
+            print(f"{entry.name:40s} {entry.compressed_size:10d} "
+                  f"{entry.uncompressed_size:10d} {codec:>8s}  {decoder}{flags}")
     return 0
 
 
 def _cmd_extract(args) -> int:
-    reader = ArchiveReader(pathlib.Path(args.archive).read_bytes())
-    output_dir = pathlib.Path(args.output)
-    mode = MODE_VXA if args.vxa else MODE_AUTO
-    names = args.members or reader.names()
-    for name in names:
-        result = reader.extract(name, mode=mode, force_decode=args.force_decode)
-        target = output_dir / name
-        target.parent.mkdir(parents=True, exist_ok=True)
-        target.write_bytes(result.data)
-        how = "archived VXA decoder" if result.used_vxa_decoder else (
-            "native decoder" if result.decoded else "stored form (still compressed)")
-        print(f"  {name}: {len(result.data)} bytes via {how}")
+    with vxa.open(args.archive, _read_options(args)) as archive:
+        records = archive.extract_into(
+            pathlib.Path(args.output),
+            names=args.members or None,
+        )
+        for record in records:
+            how = "archived VXA decoder" if record.used_vxa_decoder else (
+                "native decoder" if record.decoded else "stored form (still compressed)")
+            print(f"  {record.name}: {record.size} bytes via {how}")
     return 0
 
 
 def _cmd_check(args) -> int:
-    reader = ArchiveReader(pathlib.Path(args.archive).read_bytes())
-    report = reader.check_archive()
-    print(format_report(report))
+    with vxa.open(args.archive, _read_options(args)) as archive:
+        report = archive.check()
+        print(format_report(report))
     return 0 if report.ok else 1
+
+
+def _add_reading_commands(commands) -> None:
+    listing = commands.add_parser("list", help="list archive members and decoders")
+    listing.add_argument("archive")
+    listing.set_defaults(handler=_cmd_list)
+
+    extract = commands.add_parser("extract", help="extract members")
+    extract.add_argument("archive")
+    extract.add_argument("members", nargs="*", help="members to extract (default: all)")
+    extract.add_argument("-o", "--output", default=".", help="output directory")
+    extract.add_argument("--vxa", action="store_true",
+                         help="always use the archived VXA decoders")
+    extract.add_argument("--force-decode", action="store_true",
+                         help="decode pre-compressed members to their uncompressed form")
+    extract.set_defaults(handler=_cmd_extract)
+
+    check = commands.add_parser("check", help="verify the archive with its own decoders")
+    check.add_argument("archive")
+    check.add_argument("--reuse", default=VmReusePolicy.ALWAYS_FRESH.value,
+                       choices=[policy.value for policy in VmReusePolicy],
+                       help="VM reuse policy across files sharing a decoder")
+    check.set_defaults(handler=_cmd_check)
 
 
 def build_parser() -> argparse.ArgumentParser:
@@ -100,34 +130,35 @@ def build_parser() -> argparse.ArgumentParser:
     create.add_argument("--root", help="directory member names are relative to")
     create.set_defaults(handler=_cmd_create)
 
-    listing = commands.add_parser("list", help="list archive members and decoders")
-    listing.add_argument("archive")
-    listing.set_defaults(handler=_cmd_list)
-
-    extract = commands.add_parser("extract", help="extract members")
-    extract.add_argument("archive")
-    extract.add_argument("members", nargs="*", help="members to extract (default: all)")
-    extract.add_argument("-o", "--output", default=".", help="output directory")
-    extract.add_argument("--vxa", action="store_true",
-                         help="always use the archived VXA decoders")
-    extract.add_argument("--force-decode", action="store_true",
-                         help="decode pre-compressed members to their uncompressed form")
-    extract.set_defaults(handler=_cmd_extract)
-
-    check = commands.add_parser("check", help="verify the archive with its own decoders")
-    check.add_argument("archive")
-    check.set_defaults(handler=_cmd_check)
+    _add_reading_commands(commands)
     return parser
 
 
-def main(argv: list[str] | None = None) -> int:
-    parser = build_parser()
+def build_unzip_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="vxunzip",
+        description="VXA-aware ZIP extractor (vxUnZIP reproduction)",
+    )
+    commands = parser.add_subparsers(dest="command", required=True)
+    _add_reading_commands(commands)
+    return parser
+
+
+def _run(parser: argparse.ArgumentParser, argv: list[str] | None) -> int:
     args = parser.parse_args(argv)
     try:
         return args.handler(args)
     except (VxaError, OSError) as error:
-        print(f"vxzip: error: {error}", file=sys.stderr)
+        print(f"{parser.prog}: error: {error}", file=sys.stderr)
         return 2
+
+
+def main(argv: list[str] | None = None) -> int:
+    return _run(build_parser(), argv)
+
+
+def unzip_main(argv: list[str] | None = None) -> int:
+    return _run(build_unzip_parser(), argv)
 
 
 if __name__ == "__main__":

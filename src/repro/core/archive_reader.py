@@ -1,26 +1,30 @@
 """vxUnZIP: the VXA-aware archive reader (paper sections 2.3 and 4).
 
-The reader needs *no* codec knowledge: every member carrying a VXA extension
-header can be decoded by loading the referenced decoder pseudo-file into the
-virtual machine and streaming the member through it.  When a codec registry
-is available the reader may use a faster native decoder instead, but the
-paper's recommended-safe behaviour -- always exercising the archived decoder,
-especially for integrity checks -- is the default for ``check_archive``.
+.. deprecated::
+    :class:`ArchiveReader` is a thin compatibility shim over the streaming
+    :class:`repro.api.Archive` facade; new code should use
+    ``repro.api.open(...)`` instead, which works on file objects, streams
+    member contents, and consolidates the knobs scattered here as keyword
+    arguments into :class:`repro.api.ReadOptions`.
+
+This module still defines the extraction-mode constants and the
+:class:`ExtractedFile` / :class:`IntegrityReport` result types, which the
+facade shares.  It must not import :mod:`repro.api` at module level (the
+facade imports these definitions), so all delegation happens lazily.
 """
 
 from __future__ import annotations
 
+import io
+import warnings
 from dataclasses import dataclass, field
 
-from repro.codecs.registry import CodecRegistry, default_registry
-from repro.core.extension import VxaExtension, parse_extension
+from repro.codecs.registry import CodecRegistry
+from repro.core.extension import VxaExtension
 from repro.core.policy import VmReusePolicy
-from repro.errors import ArchiveError, DecoderMissingError, GuestFault, IntegrityError
 from repro.vm.limits import ExecutionLimits
-from repro.vm.machine import ENGINE_TRANSLATOR, VirtualMachine
-from repro.zipformat.crc import crc32
-from repro.zipformat.reader import ZipReader
-from repro.zipformat.structures import METHOD_STORE, METHOD_VXA, ZipEntry
+from repro.vm.machine import ENGINE_TRANSLATOR
+from repro.zipformat.structures import ZipEntry
 
 #: Extraction modes.
 MODE_AUTO = "auto"        # native decoder when available, archived decoder otherwise
@@ -42,11 +46,18 @@ class ExtractedFile:
 
 @dataclass
 class IntegrityReport:
-    """Outcome of a whole-archive integrity check."""
+    """Outcome of a whole-archive integrity check.
+
+    ``vm_initialisations`` / ``vm_reuses`` count how often the decoder
+    session loaded a pristine decoder image versus kept VM state across
+    files (paper section 2.4); they feed the VM-reuse ablation benchmark.
+    """
 
     checked: int = 0
     passed: int = 0
     failures: list[str] = field(default_factory=list)
+    vm_initialisations: int = 0
+    vm_reuses: int = 0
 
     @property
     def ok(self) -> bool:
@@ -54,43 +65,50 @@ class IntegrityReport:
 
 
 class ArchiveReader:
-    """Reads vxZIP archives."""
+    """Reads vxZIP archives from in-memory bytes.
+
+    Deprecated shim over :class:`repro.api.Archive`; see the module
+    docstring.
+    """
 
     def __init__(
         self,
-        archive: bytes,
+        archive,
         *,
         registry: CodecRegistry | None = None,
         engine: str = ENGINE_TRANSLATOR,
         vm_limits: ExecutionLimits | None = None,
     ):
-        self._zip = ZipReader(archive)
-        self._registry = registry if registry is not None else default_registry()
-        self._engine = engine
-        self._vm_limits = vm_limits or ExecutionLimits()
-        self._decoder_cache: dict[int, bytes] = {}
-        self._vm_cache: dict[int, VirtualMachine] = {}
+        warnings.warn(
+            "ArchiveReader is deprecated; use repro.api.open() instead",
+            DeprecationWarning,
+            stacklevel=2,
+        )
+        from repro.api.archive import Archive
+        from repro.api.options import ReadOptions
+
+        options = ReadOptions(engine=engine, limits=vm_limits, registry=registry)
+        if isinstance(archive, (bytes, bytearray, memoryview)):
+            archive = io.BytesIO(bytes(archive))
+        self._archive = Archive(archive, options)
 
     # -- listing -------------------------------------------------------------------------
 
     def names(self) -> list[str]:
-        return self._zip.names()
+        return self._archive.names()
 
     def __len__(self) -> int:
-        return len(self._zip)
+        return len(self._archive)
 
     def entries(self) -> list[ZipEntry]:
-        return list(self._zip.entries)
+        return self._archive.entries()
 
     def extension_for(self, name: str) -> VxaExtension | None:
-        return parse_extension(self._zip.find(name).extra)
+        return self._archive.extension_for(name)
 
     def decoder_image_for(self, name: str) -> bytes | None:
         """The raw decoder ELF attached to a member, if any."""
-        extension = self.extension_for(name)
-        if extension is None:
-            return None
-        return self._load_decoder(extension.decoder_offset)
+        return self._archive.decoder_image_for(name)
 
     # -- extraction -----------------------------------------------------------------------
 
@@ -102,116 +120,19 @@ class ArchiveReader:
         force_decode: bool = False,
         fresh_vm: bool = True,
     ) -> ExtractedFile:
-        """Extract one member.
-
-        Pre-compressed members (the redec path) are returned in their stored,
-        still-compressed form unless ``force_decode`` is set, mirroring
-        vxUnZIP's default of leaving popular formats compressed on extraction.
-        """
-        if mode not in (MODE_AUTO, MODE_NATIVE, MODE_VXA):
-            raise ArchiveError(f"unknown extraction mode {mode!r}")
-        entry = self._zip.find(name)
-        extension = parse_extension(entry.extra)
-
-        if extension is None:
-            # Plain ZIP member: no VXA decoder involved.
-            data = self._zip.read_member(entry)
-            return ExtractedFile(name, data, False, None, False, decoded=True)
-
-        if entry.method == METHOD_STORE and extension.precompressed and not force_decode:
-            data = self._zip.read_member(entry)
-            return ExtractedFile(name, data, False, extension.codec_name,
-                                 True, decoded=False)
-
-        encoded = self._encoded_bytes(entry, extension)
-        data, used_vxa = self._decode(encoded, extension, mode, fresh_vm)
-        if len(data) != extension.original_size or crc32(data) != extension.original_crc32:
-            raise IntegrityError(
-                f"member {name!r} decoded to unexpected contents "
-                f"({len(data)} bytes vs {extension.original_size} expected)"
-            )
-        return ExtractedFile(name, data, used_vxa, extension.codec_name,
-                             extension.precompressed, decoded=True)
+        """Extract one member (see :meth:`repro.api.Archive.extract`)."""
+        return self._archive.extract(
+            name, mode=mode, force_decode=force_decode, _fresh_vm=fresh_vm
+        )
 
     def extract_all(self, *, mode: str = MODE_AUTO, force_decode: bool = False):
         """Extract every listed member; returns ``{name: ExtractedFile}``."""
-        return {
-            name: self.extract(name, mode=mode, force_decode=force_decode)
-            for name in self.names()
-        }
+        return self._archive.extract_all(mode=mode, force_decode=force_decode)
 
     # -- integrity ------------------------------------------------------------------------
 
-    def check_archive(self, *, reuse_policy: VmReusePolicy = VmReusePolicy.ALWAYS_FRESH) -> IntegrityReport:
-        """Verify every member that carries a VXA decoder.
-
-        Integrity checks "always run the archived VXA decoder" (paper section
-        2.3) -- native decoders are never used here, so a bug that only
-        affects the archived decoder cannot hide behind the fast path.
-        """
-        report = IntegrityReport()
-        for entry in self._zip.entries:
-            extension = parse_extension(entry.extra)
-            if extension is None:
-                continue
-            report.checked += 1
-            try:
-                encoded = self._encoded_bytes(entry, extension)
-                fresh = reuse_policy is VmReusePolicy.ALWAYS_FRESH
-                data, _ = self._decode(encoded, extension, MODE_VXA, fresh)
-            except (GuestFault, ArchiveError) as error:
-                report.failures.append(f"{entry.name}: {error}")
-                continue
-            if len(data) != extension.original_size or crc32(data) != extension.original_crc32:
-                report.failures.append(f"{entry.name}: decoded output does not match its checksum")
-                continue
-            report.passed += 1
-        return report
-
-    # -- internals -------------------------------------------------------------------------
-
-    def _encoded_bytes(self, entry: ZipEntry, extension: VxaExtension) -> bytes:
-        if entry.method == METHOD_VXA:
-            return self._zip.read_stored_bytes(entry)
-        # Pre-compressed member stored with method 0: the member data *is* the
-        # encoded stream the decoder understands.
-        return self._zip.read_member(entry)
-
-    def _load_decoder(self, offset: int) -> bytes:
-        image = self._decoder_cache.get(offset)
-        if image is None:
-            _, image = self._zip.read_member_at(offset)
-            self._decoder_cache[offset] = image
-        return image
-
-    def _decode(self, encoded: bytes, extension: VxaExtension, mode: str,
-                fresh_vm: bool) -> tuple[bytes, bool]:
-        codec = None
-        if extension.codec_name and extension.codec_name in self._registry:
-            codec = self._registry.get(extension.codec_name)
-        if mode == MODE_NATIVE:
-            if codec is None:
-                raise DecoderMissingError(
-                    f"no native decoder available for codec {extension.codec_name!r}"
-                )
-            return codec.decode(encoded), False
-        if mode == MODE_AUTO and codec is not None:
-            return codec.decode(encoded), False
-        # MODE_VXA, or AUTO with no native decoder: run the archived decoder.
-        vm = self._vm_for(extension.decoder_offset)
-        limits = self._vm_limits.scaled_for_input(len(encoded))
-        result = vm.decode(encoded, limits=limits, fresh=fresh_vm)
-        if result.exit_code != 0:
-            raise IntegrityError(
-                f"archived decoder exited with status {result.exit_code}: "
-                f"{result.stderr.decode('latin-1', 'replace')!r}"
-            )
-        return result.output, True
-
-    def _vm_for(self, decoder_offset: int) -> VirtualMachine:
-        vm = self._vm_cache.get(decoder_offset)
-        if vm is None:
-            image = self._load_decoder(decoder_offset)
-            vm = VirtualMachine(image, engine=self._engine, limits=self._vm_limits)
-            self._vm_cache[decoder_offset] = vm
-        return vm
+    def check_archive(
+        self, *, reuse_policy: VmReusePolicy = VmReusePolicy.ALWAYS_FRESH
+    ) -> IntegrityReport:
+        """Verify every member that carries a VXA decoder."""
+        return self._archive.check(reuse=reuse_policy)

@@ -1,34 +1,26 @@
 """vxZIP: the VXA-enhanced archive writer (paper sections 2.2 and 3).
 
-For every input file the writer:
+.. deprecated::
+    :class:`ArchiveWriter` is a thin compatibility shim over the streaming
+    :class:`repro.api.ArchiveBuilder` facade; new code should use
+    ``repro.api.create(...)`` instead, which writes straight to a file or
+    sink and consolidates the writer knobs into
+    :class:`repro.api.WriteOptions`.
 
-1. asks the codec registry whether the file is *already* compressed in a
-   recognised format -- if so it is stored untouched with ZIP method 0 and a
-   VXA decoder attached (the recogniser-decoder, "redec", path), so old
-   tools can still extract the original compressed file;
-2. otherwise picks a codec (media-specific when one recognises the content
-   and loss is permitted, the general-purpose default otherwise), compresses
-   the file natively, stores it with the reserved VXA method tag and attaches
-   the codec's decoder;
-3. files can also be stored raw (no compression, no decoder) on request.
-
-Each distinct decoder image is embedded once as a hidden pseudo-file and
-shared by every member that references it.
+The codec-selection behaviour (redec path for recognised pre-compressed
+input, media codecs when loss is permitted, the general-purpose default
+otherwise) lives in the builder; this shim only adapts the historical
+bytes-out interface on top of it.
 """
 
 from __future__ import annotations
 
+import io
 from dataclasses import dataclass, field
 
-from repro.codecs.base import Codec
-from repro.codecs.registry import CodecRegistry, default_registry
-from repro.core.decoder_store import DecoderStore, StoredDecoder
-from repro.core.extension import VxaExtension
+from repro.codecs.registry import CodecRegistry
+from repro.core.decoder_store import StoredDecoder
 from repro.core.policy import SecurityAttributes
-from repro.errors import ArchiveError
-from repro.zipformat.crc import crc32
-from repro.zipformat.structures import METHOD_STORE, METHOD_VXA
-from repro.zipformat.writer import ZipWriter
 
 
 @dataclass
@@ -69,7 +61,11 @@ class ArchiveManifest:
 
 
 class ArchiveWriter:
-    """Builds vxZIP archives in memory."""
+    """Builds vxZIP archives in memory.
+
+    Deprecated shim over :class:`repro.api.ArchiveBuilder`; see the module
+    docstring.
+    """
 
     def __init__(
         self,
@@ -78,13 +74,25 @@ class ArchiveWriter:
         allow_lossy: bool = False,
         attach_decoders: bool = True,
     ):
-        self._registry = registry or default_registry()
-        self._allow_lossy = allow_lossy
-        self._attach_decoders = attach_decoders
-        self._zip = ZipWriter()
-        self._decoders = DecoderStore(self._zip)
-        self._manifest = ArchiveManifest()
-        self._finished = False
+        import warnings
+
+        warnings.warn(
+            "ArchiveWriter is deprecated; use repro.api.create() instead",
+            DeprecationWarning,
+            stacklevel=2,
+        )
+        from repro.api.builder import ArchiveBuilder
+        from repro.api.options import WriteOptions
+
+        self._buffer = io.BytesIO()
+        self._builder = ArchiveBuilder(
+            self._buffer,
+            WriteOptions(
+                registry=registry,
+                allow_lossy=allow_lossy,
+                attach_decoders=attach_decoders,
+            ),
+        )
 
     # -- adding files ------------------------------------------------------------------
 
@@ -98,126 +106,28 @@ class ArchiveWriter:
         attributes: SecurityAttributes | None = None,
         store_raw: bool = False,
         encode_options: dict | None = None,
-    ) -> ArchivedFileInfo:
-        """Archive one file.
-
-        Args:
-            name: member name inside the archive.
-            data: file contents.
-            codec: force a specific codec by name (bypasses selection).
-            allow_lossy: override the writer-level lossy policy for this file.
-            attributes: Unix-style security attributes recorded on the member.
-            store_raw: store the file uncompressed with no decoder attached.
-            encode_options: extra keyword arguments for the codec's encoder.
-        """
-        if self._finished:
-            raise ArchiveError("archive already finalised")
-        if not name:
-            raise ArchiveError("archived files need a name")
-        lossy_ok = self._allow_lossy if allow_lossy is None else allow_lossy
-        attributes = attributes or SecurityAttributes()
-        external = (attributes.mode & 0xFFFF) << 16
-
-        if store_raw:
-            self._zip.add_member(name, data, method=METHOD_STORE,
-                                 external_attributes=external)
-            info = ArchivedFileInfo(name, None, len(data), len(data), False, METHOD_STORE)
-            self._manifest.files.append(info)
-            return info
-
-        recognized = self._registry.recognize_compressed(data)
-        if codec is not None:
-            chosen = self._registry.get(codec)
-            if recognized is not None and recognized.name == chosen.name:
-                return self._add_precompressed(name, data, chosen, external)
-            return self._add_encoded(name, data, chosen, external, encode_options)
-        if recognized is not None:
-            return self._add_precompressed(name, data, recognized, external)
-        chosen = self._registry.select_for_raw(data, allow_lossy=lossy_ok)
-        return self._add_encoded(name, data, chosen, external, encode_options)
-
-    def _attach(self, codec: Codec) -> StoredDecoder | None:
-        if not self._attach_decoders:
-            return None
-        return self._decoders.store(codec.name, codec.guest_decoder_image())
-
-    def _add_precompressed(self, name: str, data: bytes, codec: Codec,
-                           external: int) -> ArchivedFileInfo:
-        """The redec path: store already-compressed data untouched (method 0)."""
-        decoder = self._attach(codec)
-        decoded_size, decoded_crc = _decoded_identity(codec, data)
-        extra = b""
-        if decoder is not None:
-            extra = VxaExtension(
-                decoder_offset=decoder.offset,
-                original_size=decoded_size,
-                original_crc32=decoded_crc,
-                codec_name=codec.name,
-                precompressed=True,
-                lossy=codec.info.lossy,
-            ).pack()
-        self._zip.add_member(name, data, method=METHOD_STORE, extra=extra,
-                             external_attributes=external)
-        info = ArchivedFileInfo(name, codec.name, len(data), len(data), True, METHOD_STORE)
-        self._manifest.files.append(info)
-        return info
-
-    def _add_encoded(self, name: str, data: bytes, codec: Codec, external: int,
-                     encode_options: dict | None) -> ArchivedFileInfo:
-        """Compress with a codec's native encoder and tag with the VXA method."""
-        encoded = codec.encode(data, **(encode_options or {}))
-        decoder = self._attach(codec)
-        # For lossy codecs the "original" the decoder reproduces is the decoded
-        # output, not the input bytes; record the decoder's actual product so
-        # integrity checks are meaningful (paper section 2.3).
-        if codec.info.lossy:
-            reference = codec.decode(encoded)
-        else:
-            reference = data
-        extra = b""
-        if decoder is not None:
-            extra = VxaExtension(
-                decoder_offset=decoder.offset,
-                original_size=len(reference),
-                original_crc32=crc32(reference),
-                codec_name=codec.name,
-                precompressed=False,
-                lossy=codec.info.lossy,
-            ).pack()
-        self._zip.add_member(
+    ):
+        """Archive one file (see :meth:`repro.api.ArchiveBuilder.add`)."""
+        return self._builder.add(
             name,
-            encoded,
-            method=METHOD_VXA,
-            uncompressed_size=len(reference),
-            crc=crc32(reference),
-            extra=extra,
-            external_attributes=external,
+            data,
+            codec=codec,
+            allow_lossy=allow_lossy,
+            attributes=attributes,
+            store_raw=store_raw,
+            encode_options=encode_options,
         )
-        info = ArchivedFileInfo(name, codec.name, len(encoded), len(data), False, METHOD_VXA)
-        self._manifest.files.append(info)
-        return info
 
     # -- finishing -----------------------------------------------------------------------
 
     def finish(self, comment: bytes = b"vxZIP archive") -> bytes:
         """Finalise and return the archive bytes."""
-        if self._finished:
-            raise ArchiveError("archive already finalised")
-        archive = self._zip.finish(comment)
-        self._finished = True
-        self._manifest.decoders = self._decoders.stored
-        self._manifest.archive_size = len(archive)
-        return archive
+        self._builder.finish(comment)
+        return self._buffer.getvalue()
 
     @property
-    def manifest(self) -> ArchiveManifest:
-        return self._manifest
-
-
-def _decoded_identity(codec: Codec, compressed: bytes) -> tuple[int, int]:
-    """Size and CRC of what the decoder will produce for pre-compressed input."""
-    decoded = codec.decode(compressed)
-    return len(decoded), crc32(decoded)
+    def manifest(self):
+        return self._builder.manifest
 
 
 def create_archive(
@@ -226,11 +136,29 @@ def create_archive(
     registry: CodecRegistry | None = None,
     allow_lossy: bool = False,
     attach_decoders: bool = True,
-) -> tuple[bytes, ArchiveManifest]:
-    """Convenience helper: archive a mapping of name -> contents."""
-    writer = ArchiveWriter(registry, allow_lossy=allow_lossy,
-                           attach_decoders=attach_decoders)
+):
+    """Convenience helper: archive a mapping of name -> contents.
+
+    Returns ``(archive_bytes, manifest)``.  Deprecated alongside
+    :class:`ArchiveWriter`; use :func:`repro.api.create`.
+    """
+    import warnings
+
+    warnings.warn(
+        "create_archive is deprecated; use repro.api.create() instead",
+        DeprecationWarning,
+        stacklevel=2,
+    )
+    from repro.api.builder import ArchiveBuilder
+    from repro.api.options import WriteOptions
+
+    buffer = io.BytesIO()
+    builder = ArchiveBuilder(
+        buffer,
+        WriteOptions(registry=registry, allow_lossy=allow_lossy,
+                     attach_decoders=attach_decoders),
+    )
     for name, data in files.items():
-        writer.add_file(name, data)
-    archive = writer.finish()
-    return archive, writer.manifest
+        builder.add(name, data)
+    manifest = builder.finish()
+    return buffer.getvalue(), manifest

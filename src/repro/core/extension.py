@@ -19,6 +19,12 @@ from repro.zipformat.structures import ExtraField, pack_extra_fields, unpack_ext
 #: Extra-field header ID used for the VXA extension ("Vx" little-endian).
 VXA_EXTRA_ID = 0x7856
 
+#: Info-ZIP "new Unix" extra field: carries uid/gid so the reader can
+#: reconstruct the full protection domain (owner + group + mode) that the
+#: section 2.4 VM-reuse policy compares; bare ZIP external attributes only
+#: hold the mode bits.
+UNIX_EXTRA_ID = 0x7875
+
 #: Flag bits.
 FLAG_PRECOMPRESSED = 0x01       # file was stored already-compressed (redec path)
 FLAG_LOSSY = 0x02               # the codec that produced the data is lossy
@@ -65,6 +71,35 @@ class VxaExtension:
             flags,
         ) + bytes([len(name_bytes)]) + name_bytes
         return pack_extra_fields([ExtraField(VXA_EXTRA_ID, payload)])
+
+
+def pack_unix_extra(owner: int, group: int) -> bytes:
+    """Serialise uid/gid as an Info-ZIP new-Unix extra-field block."""
+    payload = struct.pack("<BB", 1, 4) + struct.pack("<I", owner) \
+        + struct.pack("<B", 4) + struct.pack("<I", group)
+    return pack_extra_fields([ExtraField(UNIX_EXTRA_ID, payload)])
+
+
+def parse_unix_extra(extra: bytes) -> tuple[int, int] | None:
+    """Recover ``(owner, group)`` from a member's extra block, if recorded."""
+    for field in unpack_extra_fields(extra):
+        if field.header_id != UNIX_EXTRA_ID:
+            continue
+        payload = field.payload
+        if len(payload) < 2 or payload[0] != 1:
+            return None
+        uid_size = payload[1]
+        gid_start = 2 + uid_size
+        if len(payload) < gid_start + 1:
+            return None
+        gid_size = payload[gid_start]
+        gid_end = gid_start + 1 + gid_size
+        if len(payload) < gid_end:
+            return None
+        owner = int.from_bytes(payload[2:gid_start], "little")
+        group = int.from_bytes(payload[gid_start + 1:gid_end], "little")
+        return owner, group
+    return None
 
 
 def parse_extension(extra: bytes) -> VxaExtension | None:

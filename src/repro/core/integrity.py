@@ -1,30 +1,41 @@
 """Stand-alone archive integrity checking helpers.
 
-Thin wrappers over :meth:`repro.core.archive_reader.ArchiveReader.check_archive`
-for callers that just want a yes/no answer or a printable report.  Kept
-separate so the examples and benchmarks can exercise integrity checking
-without constructing readers themselves.
+Thin wrappers over :meth:`repro.api.Archive.check` for callers that just
+want a yes/no answer or a printable report.  Kept separate so the examples
+and benchmarks can exercise integrity checking without constructing
+archives themselves.
 """
 
 from __future__ import annotations
 
+import io
+
 from repro.codecs.registry import CodecRegistry
-from repro.core.archive_reader import ArchiveReader, IntegrityReport
+from repro.core.archive_reader import IntegrityReport
 from repro.core.policy import VmReusePolicy
 
 
 def check_archive(
-    archive: bytes,
+    archive,
     *,
     registry: CodecRegistry | None = None,
     reuse_policy: VmReusePolicy = VmReusePolicy.ALWAYS_FRESH,
 ) -> IntegrityReport:
-    """Run the full always-use-the-archived-decoder integrity check."""
-    reader = ArchiveReader(archive, registry=registry)
-    return reader.check_archive(reuse_policy=reuse_policy)
+    """Run the full always-use-the-archived-decoder integrity check.
+
+    ``archive`` may be raw bytes, a filesystem path, or a seekable binary
+    file object.
+    """
+    from repro.api import open as open_archive
+    from repro.api.options import ReadOptions
+
+    if isinstance(archive, (bytes, bytearray, memoryview)):
+        archive = io.BytesIO(bytes(archive))
+    with open_archive(archive, ReadOptions(registry=registry)) as opened:
+        return opened.check(reuse=reuse_policy)
 
 
-def is_archive_intact(archive: bytes, **kwargs) -> bool:
+def is_archive_intact(archive, **kwargs) -> bool:
     """True when every decoder-bearing member decodes to its recorded checksum."""
     return check_archive(archive, **kwargs).ok
 
@@ -33,6 +44,11 @@ def format_report(report: IntegrityReport) -> str:
     """Render an integrity report the way the vxUnZIP tool would print it."""
     lines = [f"members checked : {report.checked}",
              f"members passed  : {report.passed}"]
+    if report.vm_initialisations or report.vm_reuses:
+        lines.append(
+            f"decoder VMs     : {report.vm_initialisations} initialisation(s), "
+            f"{report.vm_reuses} state reuse(s)"
+        )
     if report.failures:
         lines.append("failures:")
         lines.extend(f"  - {failure}" for failure in report.failures)

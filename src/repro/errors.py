@@ -118,3 +118,7 @@ class IntegrityError(ArchiveError):
 
 class DecoderMissingError(ArchiveError):
     """An archived file references a decoder that is not present."""
+
+
+class PathTraversalError(ArchiveError):
+    """A member name would escape the extraction directory (zip-slip)."""

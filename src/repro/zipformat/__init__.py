@@ -1,7 +1,7 @@
 """From-scratch ZIP container: the substrate vxZIP builds on."""
 
 from repro.zipformat.crc import StreamingCrc32, crc32
-from repro.zipformat.reader import ZipReader
+from repro.zipformat.reader import ByteSource, DEFAULT_CHUNK_SIZE, ZipReader
 from repro.zipformat.structures import (
     ExtraField,
     METHOD_DEFLATE,
@@ -17,6 +17,8 @@ from repro.zipformat.writer import ZipWriter, deflate_compress, deflate_decompre
 __all__ = [
     "StreamingCrc32",
     "crc32",
+    "ByteSource",
+    "DEFAULT_CHUNK_SIZE",
     "ZipReader",
     "ExtraField",
     "METHOD_DEFLATE",

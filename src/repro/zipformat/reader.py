@@ -1,26 +1,96 @@
-"""ZIP archive reader used by vxUnZIP."""
+"""ZIP archive reader used by vxUnZIP.
+
+The reader operates over any seekable byte source -- in-memory bytes, an
+``open(path, "rb")`` handle, an ``mmap`` -- and never materialises the whole
+archive as a single ``bytes`` object: the end-of-central-directory record is
+located by reading only the archive tail, the central directory is read as
+one (small) blob, and member payloads are fetched by absolute offset in
+bounded chunks.  This is what lets the :mod:`repro.api` facade serve
+multi-gigabyte archives without loading them into memory.
+"""
 
 from __future__ import annotations
 
+import io
+import zlib
+from typing import Iterator
+
 from repro.errors import ZipFormatError
-from repro.zipformat.crc import crc32
+from repro.zipformat.crc import StreamingCrc32, crc32
 from repro.zipformat.structures import (
+    EOCD_MAX_SCAN,
+    EOCD_SIGNATURE,
     METHOD_DEFLATE,
     METHOD_STORE,
     METHOD_VXA,
     ZipEntry,
-    find_eocd,
+    parse_eocd,
+    read_local_header,
     unpack_central_header,
-    unpack_local_header,
 )
 from repro.zipformat.writer import deflate_decompress
 
 #: Refuse to inflate members that claim more than this (zip-bomb guard).
 MAX_MEMBER_SIZE = 1 << 31
 
+#: Default unit for chunked member reads.
+DEFAULT_CHUNK_SIZE = 1 << 16
+
+
+class ByteSource:
+    """Random-access byte reads over a seekable file object.
+
+    ``read_at`` loops over short reads, so sources whose ``read()`` returns
+    fewer bytes than requested (sockets wrapped in files, throttled readers,
+    the capped-read objects the test suite uses) still work.
+    """
+
+    def __init__(self, file):
+        for method in ("read", "seek", "tell"):
+            if not hasattr(file, method):
+                raise ZipFormatError(
+                    "archive source must be a seekable binary file object "
+                    f"(missing {method}())"
+                )
+        self._file = file
+        file.seek(0, io.SEEK_END)
+        self._size = file.tell()
+
+    @property
+    def size(self) -> int:
+        return self._size
+
+    def read_at(self, offset: int, length: int) -> bytes:
+        """Read up to ``length`` bytes starting at ``offset``."""
+        if length <= 0 or offset >= self._size:
+            return b""
+        self._file.seek(offset)
+        chunks: list[bytes] = []
+        remaining = min(length, self._size - offset)
+        while remaining > 0:
+            chunk = self._file.read(remaining)
+            if not chunk:
+                break
+            chunks.append(chunk)
+            remaining -= len(chunk)
+        return b"".join(chunks)
+
+    def iter_at(self, offset: int, length: int,
+                chunk_size: int = DEFAULT_CHUNK_SIZE) -> Iterator[bytes]:
+        """Yield ``length`` bytes starting at ``offset`` in bounded chunks."""
+        position = offset
+        end = offset + length
+        while position < end:
+            want = min(chunk_size, end - position)
+            chunk = self.read_at(position, want)
+            if len(chunk) < want:
+                raise ZipFormatError("archive truncated during member read")
+            position += len(chunk)
+            yield chunk
+
 
 class ZipReader:
-    """Parses a ZIP archive from bytes.
+    """Parses a ZIP archive from bytes or a seekable binary file object.
 
     Regular members are enumerated through the central directory, as standard
     tools do.  Decoder pseudo-files are *not* listed there; they are reached
@@ -28,17 +98,29 @@ class ZipReader:
     that use them) via :meth:`read_member_at`.
     """
 
-    def __init__(self, data: bytes):
-        self._data = data
-        entry_count, directory_size, directory_offset, comment = find_eocd(data)
-        if directory_offset + directory_size > len(data):
+    def __init__(self, source):
+        if isinstance(source, (bytes, bytearray, memoryview)):
+            source = io.BytesIO(bytes(source))
+        self._source = ByteSource(source)
+        entry_count, directory_size, directory_offset, comment = self._locate_eocd()
+        if directory_offset + directory_size > self._source.size:
             raise ZipFormatError("central directory extends past end of archive")
         self.comment = comment
         self.entries: list[ZipEntry] = []
-        offset = directory_offset
+        directory = self._source.read_at(directory_offset, directory_size)
+        offset = 0
         for _ in range(entry_count):
-            entry, offset = unpack_central_header(data, offset)
+            entry, offset = unpack_central_header(directory, offset)
             self.entries.append(entry)
+
+    def _locate_eocd(self):
+        size = self._source.size
+        scan = min(size, EOCD_MAX_SCAN)
+        tail = self._source.read_at(size - scan, scan)
+        position = tail.rfind(EOCD_SIGNATURE)
+        if position < 0:
+            raise ZipFormatError("end of central directory record not found")
+        return parse_eocd(tail, position)
 
     # -- lookup ------------------------------------------------------------------------
 
@@ -59,28 +141,65 @@ class ZipReader:
 
     # -- member access -----------------------------------------------------------------
 
+    def _stored_extent(self, entry: ZipEntry) -> tuple[int, int]:
+        """Locate a member's stored payload; returns ``(data_offset, size)``."""
+        local_entry, data_offset = read_local_header(
+            self._source.read_at, entry.local_header_offset
+        )
+        size = entry.compressed_size or local_entry.compressed_size
+        if data_offset + size > self._source.size:
+            raise ZipFormatError(f"member {entry.name!r} extends past end of archive")
+        return data_offset, size
+
     def read_stored_bytes(self, entry: ZipEntry) -> bytes:
         """Return a member's stored (possibly compressed) bytes."""
-        local_entry, data_offset = unpack_local_header(self._data, entry.local_header_offset)
-        size = entry.compressed_size or local_entry.compressed_size
-        end = data_offset + size
-        if end > len(self._data):
-            raise ZipFormatError(f"member {entry.name!r} extends past end of archive")
-        return self._data[data_offset:end]
+        data_offset, size = self._stored_extent(entry)
+        return self._source.read_at(data_offset, size)
 
-    def read_member(self, entry: ZipEntry, *, verify_crc: bool = True) -> bytes:
-        """Decompress a member stored with a traditional ZIP method.
+    def iter_stored_chunks(self, entry: ZipEntry, *,
+                           chunk_size: int = DEFAULT_CHUNK_SIZE) -> Iterator[bytes]:
+        """Yield a member's stored bytes in bounded chunks."""
+        data_offset, size = self._stored_extent(entry)
+        yield from self._source.iter_at(data_offset, size, chunk_size)
+
+    def iter_member_chunks(self, entry: ZipEntry, *, verify_crc: bool = True,
+                           chunk_size: int = DEFAULT_CHUNK_SIZE) -> Iterator[bytes]:
+        """Decompress a traditionally-stored member as a stream of chunks.
 
         Members using the VXA method cannot be read this way -- they need the
         archived decoder (raise, so callers fall back to the VXA path).
         """
         if entry.uncompressed_size > MAX_MEMBER_SIZE:
             raise ZipFormatError(f"member {entry.name!r} is implausibly large")
-        stored = self.read_stored_bytes(entry)
+        checksum = StreamingCrc32()
         if entry.method == METHOD_STORE:
-            data = stored
+            for chunk in self.iter_stored_chunks(entry, chunk_size=chunk_size):
+                checksum.update(chunk)
+                yield chunk
         elif entry.method == METHOD_DEFLATE:
-            data = deflate_decompress(stored, entry.uncompressed_size)
+            decompressor = zlib.decompressobj(-15)
+            produced = 0
+            for chunk in self.iter_stored_chunks(entry, chunk_size=chunk_size):
+                out = decompressor.decompress(chunk)
+                if out:
+                    produced += len(out)
+                    if produced > entry.uncompressed_size:
+                        raise ZipFormatError(
+                            f"deflate member decompressed to more than "
+                            f"{entry.uncompressed_size} bytes, expected exactly that"
+                        )
+                    checksum.update(out)
+                    yield out
+            out = decompressor.flush()
+            if out:
+                produced += len(out)
+                checksum.update(out)
+                yield out
+            if produced != entry.uncompressed_size:
+                raise ZipFormatError(
+                    f"deflate member decompressed to {produced} bytes, "
+                    f"expected {entry.uncompressed_size}"
+                )
         elif entry.method == METHOD_VXA:
             raise ZipFormatError(
                 f"member {entry.name!r} uses the VXA method; extract it through "
@@ -90,17 +209,19 @@ class ZipReader:
             raise ZipFormatError(
                 f"member {entry.name!r} uses unsupported method {entry.method}"
             )
-        if verify_crc and crc32(data) != entry.crc32:
+        if verify_crc and checksum.value != entry.crc32:
             raise ZipFormatError(f"CRC mismatch for member {entry.name!r}")
-        return data
+
+    def read_member(self, entry: ZipEntry, *, verify_crc: bool = True) -> bytes:
+        """Decompress a member stored with a traditional ZIP method."""
+        return b"".join(self.iter_member_chunks(entry, verify_crc=verify_crc))
 
     def read_member_at(self, offset: int, *, verify_crc: bool = True) -> tuple[ZipEntry, bytes]:
         """Read a member (typically a decoder pseudo-file) by local-header offset."""
-        entry, data_offset = unpack_local_header(self._data, offset)
-        end = data_offset + entry.compressed_size
-        if end > len(self._data):
+        entry, data_offset = read_local_header(self._source.read_at, offset)
+        if data_offset + entry.compressed_size > self._source.size:
             raise ZipFormatError("pseudo-file extends past end of archive")
-        stored = self._data[data_offset:end]
+        stored = self._source.read_at(data_offset, entry.compressed_size)
         if entry.method == METHOD_STORE:
             data = stored
         elif entry.method == METHOD_DEFLATE:

@@ -98,33 +98,42 @@ def pack_local_header(entry: ZipEntry) -> bytes:
     return header + name_bytes + entry.extra
 
 
-def unpack_local_header(data: bytes, offset: int):
-    """Parse a local file header; returns ``(entry, data_offset)``."""
+def read_local_header(read_at, offset: int):
+    """Parse a local file header through a ``read_at(offset, length)`` callable.
+
+    Works over any random-access byte source (an in-memory buffer, a seekable
+    file, an mmap) so the reader never has to hold the whole archive in one
+    ``bytes`` object.  Returns ``(entry, data_offset)``.
+    """
     from repro.errors import ZipFormatError
 
-    if data[offset : offset + 4] != LOCAL_HEADER_SIGNATURE:
+    fixed = read_at(offset, _LOCAL_HEADER.size)
+    if len(fixed) < _LOCAL_HEADER.size or fixed[:4] != LOCAL_HEADER_SIGNATURE:
         raise ZipFormatError(f"no local file header at offset {offset}")
-    fields = _LOCAL_HEADER.unpack_from(data, offset)
+    fields = _LOCAL_HEADER.unpack(fixed)
     (_, _, flags, method, dos_time, dos_date, crc, compressed_size,
      uncompressed_size, name_length, extra_length) = fields
-    name_start = offset + _LOCAL_HEADER.size
-    extra_start = name_start + name_length
-    data_start = extra_start + extra_length
-    if data_start > len(data):
+    tail = read_at(offset + _LOCAL_HEADER.size, name_length + extra_length)
+    if len(tail) < name_length + extra_length:
         raise ZipFormatError("local file header extends past end of archive")
     entry = ZipEntry(
-        name=data[name_start:extra_start].decode("utf-8", "replace"),
+        name=tail[:name_length].decode("utf-8", "replace"),
         method=method,
         crc32=crc,
         compressed_size=compressed_size,
         uncompressed_size=uncompressed_size,
         local_header_offset=offset,
-        extra=data[extra_start:data_start],
+        extra=tail[name_length:],
         dos_time=dos_time,
         dos_date=dos_date,
         flags=flags,
     )
-    return entry, data_start
+    return entry, offset + _LOCAL_HEADER.size + name_length + extra_length
+
+
+def unpack_local_header(data: bytes, offset: int):
+    """Parse a local file header out of in-memory bytes; returns ``(entry, data_offset)``."""
+    return read_local_header(lambda pos, length: data[pos : pos + length], offset)
 
 
 def pack_central_header(entry: ZipEntry) -> bytes:
@@ -198,6 +207,23 @@ def pack_eocd(entry_count: int, directory_size: int, directory_offset: int,
     ) + comment
 
 
+#: A ZIP comment is at most 64 KB, so the EOCD record always lives within
+#: this many bytes of the end of the archive.
+EOCD_SIZE = _EOCD.size
+EOCD_MAX_SCAN = 65536 + _EOCD.size
+
+
+def parse_eocd(buffer: bytes, position: int):
+    """Parse an EOCD record at ``position`` inside ``buffer``.
+
+    Returns ``(entry_count, directory_size, directory_offset, comment)``.
+    """
+    fields = _EOCD.unpack_from(buffer, position)
+    (_, _, _, entry_count, _, directory_size, directory_offset, comment_length) = fields
+    comment = buffer[position + _EOCD.size : position + _EOCD.size + comment_length]
+    return entry_count, directory_size, directory_offset, comment
+
+
 def find_eocd(data: bytes):
     """Locate and parse the end-of-central-directory record.
 
@@ -205,14 +231,11 @@ def find_eocd(data: bytes):
     """
     from repro.errors import ZipFormatError
 
-    search_start = max(0, len(data) - 65536 - _EOCD.size)
+    search_start = max(0, len(data) - EOCD_MAX_SCAN)
     position = data.rfind(EOCD_SIGNATURE, search_start)
     if position < 0:
         raise ZipFormatError("end of central directory record not found")
-    fields = _EOCD.unpack_from(data, position)
-    (_, _, _, entry_count, _, directory_size, directory_offset, comment_length) = fields
-    comment = data[position + _EOCD.size : position + _EOCD.size + comment_length]
-    return entry_count, directory_size, directory_offset, comment
+    return parse_eocd(data, position)
 
 
 @dataclass

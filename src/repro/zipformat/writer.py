@@ -2,6 +2,7 @@
 
 from __future__ import annotations
 
+import io
 import zlib
 
 from repro.errors import ZipFormatError
@@ -36,7 +37,14 @@ def deflate_decompress(data: bytes, expected_size: int | None = None) -> bytes:
 
 
 class ZipWriter:
-    """Builds a ZIP archive in memory.
+    """Builds a ZIP archive, either in memory or onto a caller-supplied sink.
+
+    With no arguments the writer accumulates into an internal buffer and
+    :meth:`finish` returns the archive bytes (the historical behaviour).
+    Given a writable binary ``sink`` (a file opened with ``"wb"``, a socket
+    wrapper, ...), members are written through as they are added and never
+    held together in memory; :meth:`finish` then returns ``None`` and
+    :attr:`total_size` reports how many bytes were produced.
 
     Members added with ``in_central_directory=False`` become "pseudo-files":
     they occupy space in the archive body with their own local header, but do
@@ -44,10 +52,16 @@ class ZipWriter:
     them -- exactly how vxZIP hides archived decoders (paper section 3.2).
     """
 
-    def __init__(self):
-        self._body = bytearray()
+    def __init__(self, sink=None):
+        self._owns_sink = sink is None
+        self._sink = io.BytesIO() if sink is None else sink
+        self._offset = 0
         self._entries: list[ZipEntry] = []
         self._finished = False
+
+    def _write(self, blob: bytes) -> None:
+        self._sink.write(blob)
+        self._offset += len(blob)
 
     # -- adding members --------------------------------------------------------------
 
@@ -86,14 +100,14 @@ class ZipWriter:
             crc32=crc,
             compressed_size=len(payload),
             uncompressed_size=uncompressed_size,
-            local_header_offset=len(self._body),
+            local_header_offset=self._offset,
             extra=extra,
             comment=comment,
             in_central_directory=in_central_directory,
             external_attributes=external_attributes,
         )
-        self._body += pack_local_header(entry)
-        self._body += payload
+        self._write(pack_local_header(entry))
+        self._write(payload)
         self._entries.append(entry)
         return entry
 
@@ -131,19 +145,29 @@ class ZipWriter:
 
     @property
     def current_offset(self) -> int:
-        return len(self._body)
+        return self._offset
 
-    def finish(self, comment: bytes = b"") -> bytes:
-        """Write the central directory and EOCD; return the archive bytes."""
+    @property
+    def total_size(self) -> int:
+        """Bytes written so far (the archive size once finished)."""
+        return self._offset
+
+    def finish(self, comment: bytes = b""):
+        """Write the central directory and EOCD.
+
+        Returns the archive bytes when the writer owns its buffer, ``None``
+        when writing to a caller-supplied sink.
+        """
         if self._finished:
             raise ZipFormatError("archive already finalised")
         directory = bytearray()
         listed = [entry for entry in self._entries if entry.in_central_directory]
         for entry in listed:
             directory += pack_central_header(entry)
-        directory_offset = len(self._body)
-        archive = bytes(self._body) + bytes(directory) + pack_eocd(
-            len(listed), len(directory), directory_offset, comment
-        )
+        directory_offset = self._offset
+        self._write(bytes(directory))
+        self._write(pack_eocd(len(listed), len(directory), directory_offset, comment))
         self._finished = True
-        return archive
+        if self._owns_sink:
+            return self._sink.getvalue()
+        return None
