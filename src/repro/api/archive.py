@@ -141,6 +141,8 @@ class Archive:
             policy=self.options.reuse,
             engine=self.options.engine,
             limits=self._limits,
+            superblock_limit=self.options.superblock_limit,
+            chain_fragments=self.options.chain_fragments,
         )
         self._closed = False
 
@@ -318,6 +320,8 @@ class Archive:
             policy=reuse if reuse is not None else self.options.reuse,
             engine=self.options.engine,
             limits=self._limits,
+            superblock_limit=self.options.superblock_limit,
+            chain_fragments=self.options.chain_fragments,
         )
         report = IntegrityReport()
         for entry in self._zip.entries:
@@ -340,6 +344,10 @@ class Archive:
             report.passed += 1
         report.vm_initialisations = session.stats.vm_initialisations
         report.vm_reuses = session.stats.vm_reuses
+        report.fragments_translated = session.stats.fragments_translated
+        report.cache_hits = session.stats.cache_hits
+        report.chained_branches = session.stats.chained_branches
+        report.retranslations = session.stats.retranslations
         session.close()
         return report
 

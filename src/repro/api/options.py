@@ -40,6 +40,12 @@ class ReadOptions:
             :class:`~repro.api.session.DecoderSession`.
         registry: codec registry for native fast paths (``None`` -> default).
         chunk_size: unit for streamed member reads and writes.
+        superblock_limit: maximum guest instructions per translated trace
+            (``None`` -> translator default; ``1`` reproduces the old
+            one-basic-block engine, for ablations).
+        chain_fragments: back-patch direct-branch successors between
+            translated fragments so the dispatcher's hash lookup is only
+            paid on indirect branches (disable only for ablations).
     """
 
     mode: str = MODE_AUTO
@@ -49,6 +55,8 @@ class ReadOptions:
     reuse: VmReusePolicy = VmReusePolicy.ALWAYS_FRESH
     registry: CodecRegistry | None = None
     chunk_size: int = 1 << 16
+    superblock_limit: int | None = None
+    chain_fragments: bool = True
 
     def __post_init__(self):
         if self.mode not in _MODES:
@@ -59,6 +67,8 @@ class ReadOptions:
             raise ValueError("chunk_size must be positive")
         if not isinstance(self.reuse, VmReusePolicy):
             raise TypeError("reuse must be a VmReusePolicy")
+        if self.superblock_limit is not None and self.superblock_limit < 1:
+            raise ValueError("superblock_limit must be at least 1")
 
     def with_changes(self, **changes) -> "ReadOptions":
         """A copy of these options with some fields replaced."""

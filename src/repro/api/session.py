@@ -10,6 +10,16 @@ place that owns decoder VMs, applies the :class:`~repro.core.policy.VmReusePolic
 against each file's :class:`~repro.core.policy.SecurityAttributes`, and
 counts how often state was reused versus re-initialised (the ablation
 benchmark reports these counters).
+
+The session also owns one :class:`~repro.vm.code_cache.CodeCache` per
+decoder image whenever the policy permits VM reuse at all.  Translated
+fragments are derived from the decoder's *code*, never from member data, so
+they stay valid (and leak nothing) across the sandbox re-initialisations the
+policy forces on protection-domain changes: members sharing a decoder share
+its translations for the life of the session.  Under ``ALWAYS_FRESH`` the
+caches stay private to each VM and are invalidated on every reset -- the
+session's retranslation counters then expose exactly what that safety
+posture costs.
 """
 
 from __future__ import annotations
@@ -18,17 +28,28 @@ from dataclasses import dataclass
 from typing import Callable
 
 from repro.core.policy import SecurityAttributes, VmReusePolicy
+from repro.vm.code_cache import CodeCache
 from repro.vm.limits import ExecutionLimits
 from repro.vm.machine import DecodeResult, ENGINE_TRANSLATOR, VirtualMachine
 
 
 @dataclass
 class SessionStats:
-    """Counters for one decoder session (feeds the section 2.4 ablation)."""
+    """Counters for one decoder session (feeds the section 2.4 ablation).
+
+    The code-cache counters aggregate the per-run
+    :class:`~repro.vm.limits.ExecutionStats` of every decode performed
+    through this session; ``vxunzip --stats`` and
+    :class:`~repro.core.archive_reader.IntegrityReport` surface them.
+    """
 
     decodes: int = 0
     vm_initialisations: int = 0     # pristine decoder image (re)loads
     vm_reuses: int = 0              # decodes that kept previous VM state
+    fragments_translated: int = 0   # superblock translations performed
+    cache_hits: int = 0             # blocks served from the fragment cache
+    chained_branches: int = 0       # transitions over back-patched edges
+    retranslations: int = 0         # translations of an already-seen entry
 
 
 class DecoderSession:
@@ -40,6 +61,9 @@ class DecoderSession:
         policy: the VM reuse policy enforced for every decode.
         engine: VM engine for all decoder runs.
         limits: session-wide resource ceilings (scaled per input).
+        superblock_limit: translator trace-length ceiling (``None`` ->
+            engine default).
+        chain_fragments: enable direct-branch back-patching in the engine.
     """
 
     def __init__(
@@ -49,12 +73,17 @@ class DecoderSession:
         policy: VmReusePolicy = VmReusePolicy.ALWAYS_FRESH,
         engine: str = ENGINE_TRANSLATOR,
         limits: ExecutionLimits | None = None,
+        superblock_limit: int | None = None,
+        chain_fragments: bool = True,
     ):
         self._load_image = load_image
         self.policy = policy
         self._engine = engine
         self._limits = limits or ExecutionLimits()
+        self._superblock_limit = superblock_limit
+        self._chain_fragments = chain_fragments
         self._vms: dict[int, VirtualMachine] = {}
+        self._code_caches: dict[int, CodeCache] = {}
         self._last_attributes: dict[int, SecurityAttributes] = {}
         self.stats = SessionStats()
 
@@ -69,6 +98,23 @@ class DecoderSession:
             return False
         previous = self._last_attributes.get(decoder_offset)
         return previous is not None and not previous.same_domain(attributes)
+
+    def _code_cache_for(self, decoder_offset: int) -> CodeCache | None:
+        """The session-shared code cache for one decoder, when permitted.
+
+        Translation sharing rides on the reuse policy's consent: when the
+        policy never reuses VM state (``ALWAYS_FRESH``) each VM keeps a
+        private cache that resets with it, preserving pristine-sandbox
+        semantics bit for bit.  Any reuse-permitting policy shares one
+        cache per decoder image across resets and members.
+        """
+        if self.policy is VmReusePolicy.ALWAYS_FRESH:
+            return None
+        cache = self._code_caches.get(decoder_offset)
+        if cache is None:
+            cache = CodeCache(shared=True)
+            self._code_caches[decoder_offset] = cache
+        return cache
 
     # -- decoding --------------------------------------------------------------
 
@@ -96,6 +142,9 @@ class DecoderSession:
                 self._load_image(decoder_offset),
                 engine=self._engine,
                 limits=self._limits,
+                code_cache=self._code_cache_for(decoder_offset),
+                superblock_limit=self._superblock_limit,
+                chain_fragments=self._chain_fragments,
             )
             self._vms[decoder_offset] = vm
             # Constructing the VM loads a pristine image, so the first decode
@@ -115,13 +164,20 @@ class DecoderSession:
         self._last_attributes[decoder_offset] = attributes
         self.stats.decodes += 1
         run_limits = limits or self._limits.scaled_for_input(len(encoded))
-        return vm.decode(encoded, limits=run_limits, fresh=fresh)
+        result = vm.decode(encoded, limits=run_limits, fresh=fresh)
+        run = result.stats
+        self.stats.fragments_translated += run.fragments_translated
+        self.stats.cache_hits += run.fragment_cache_hits
+        self.stats.chained_branches += run.chained_branches
+        self.stats.retranslations += run.retranslations
+        return result
 
     # -- lifecycle -------------------------------------------------------------
 
     def reset(self) -> None:
         """Drop all VM state (a pristine image is loaded on next use)."""
         self._vms.clear()
+        self._code_caches.clear()
         self._last_attributes.clear()
 
     def close(self) -> None:

@@ -80,6 +80,14 @@ def _cmd_extract(args) -> int:
             how = "archived VXA decoder" if record.used_vxa_decoder else (
                 "native decoder" if record.decoded else "stored form (still compressed)")
             print(f"  {record.name}: {record.size} bytes via {how}")
+        if getattr(args, "stats", False):
+            stats = archive.session.stats
+            print(
+                f"code cache: {stats.fragments_translated} fragment(s) translated, "
+                f"{stats.chained_branches} chained branch(es), "
+                f"{stats.cache_hits} cache hit(s), "
+                f"{stats.retranslations} retranslation(s)"
+            )
     return 0
 
 
@@ -103,6 +111,11 @@ def _add_reading_commands(commands) -> None:
                          help="always use the archived VXA decoders")
     extract.add_argument("--force-decode", action="store_true",
                          help="decode pre-compressed members to their uncompressed form")
+    extract.add_argument("--stats", action="store_true",
+                         help="print translation code-cache counters after extraction")
+    extract.add_argument("--reuse", default=VmReusePolicy.ALWAYS_FRESH.value,
+                         choices=[policy.value for policy in VmReusePolicy],
+                         help="VM reuse policy across files sharing a decoder")
     extract.set_defaults(handler=_cmd_extract)
 
     check = commands.add_parser("check", help="verify the archive with its own decoders")

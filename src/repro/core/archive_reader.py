@@ -51,6 +51,10 @@ class IntegrityReport:
     ``vm_initialisations`` / ``vm_reuses`` count how often the decoder
     session loaded a pristine decoder image versus kept VM state across
     files (paper section 2.4); they feed the VM-reuse ablation benchmark.
+    The code-cache counters summarise the translation engine's work over
+    the whole check: fragments translated, fragment-cache hits, chained
+    (back-patched) branch transitions and retranslations of already-seen
+    entry points.
     """
 
     checked: int = 0
@@ -58,6 +62,10 @@ class IntegrityReport:
     failures: list[str] = field(default_factory=list)
     vm_initialisations: int = 0
     vm_reuses: int = 0
+    fragments_translated: int = 0
+    cache_hits: int = 0
+    chained_branches: int = 0
+    retranslations: int = 0
 
     @property
     def ok(self) -> bool:

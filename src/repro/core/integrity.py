@@ -49,6 +49,13 @@ def format_report(report: IntegrityReport) -> str:
             f"decoder VMs     : {report.vm_initialisations} initialisation(s), "
             f"{report.vm_reuses} state reuse(s)"
         )
+    if report.fragments_translated:
+        lines.append(
+            f"code cache      : {report.fragments_translated} fragment(s) translated, "
+            f"{report.cache_hits} cache hit(s), "
+            f"{report.chained_branches} chained branch(es), "
+            f"{report.retranslations} retranslation(s)"
+        )
     if report.failures:
         lines.append("failures:")
         lines.extend(f"  - {failure}" for failure in report.failures)

@@ -1,5 +1,6 @@
 """The VXA virtual machine (vx32 analogue): sandboxed execution of decoders."""
 
+from repro.vm.code_cache import CodeCache
 from repro.vm.limits import ExecutionLimits, ExecutionStats
 from repro.vm.machine import (
     DecodeResult,
@@ -19,6 +20,7 @@ from repro.vm.memory import (
 from repro.vm.syscalls import StreamSet, SyscallHandler
 
 __all__ = [
+    "CodeCache",
     "ExecutionLimits",
     "ExecutionStats",
     "DecodeResult",

@@ -1,0 +1,79 @@
+"""A first-class cache of translated guest code.
+
+vx32's viability rests on caching translated fragments and reusing them every
+time the decoder jumps to the same entry point (paper section 4.2).  In this
+reproduction the cache used to be a bare dict buried inside
+:class:`~repro.vm.machine.VirtualMachine`; promoting it to an object lets the
+:class:`~repro.api.session.DecoderSession` *own* one cache per decoder image
+and share it across every VM (and VM re-initialisation) in an archive-read
+session: translations are derived from the decoder's code alone -- never from
+member data -- so sharing them leaks nothing between files even when the
+section 2.4 policy forces the sandbox itself to be re-initialised.
+
+The cache holds two keyed stores over the same guest image:
+
+* ``fragments`` -- compiled superblock fragments, keyed by guest entry
+  address (used by the translator engine),
+* ``instructions`` -- decoded :class:`~repro.isa.encoding.Instruction`
+  objects, keyed by guest address (used by the reference interpreter).
+
+A cache is only valid for VMs running the *same decoder image* with the same
+memory-check policy and translator configuration; :class:`DecoderSession`
+guarantees this by keying shared caches by decoder pseudo-file offset.
+
+Counters accumulate across runs (they feed ``vxunzip --stats``, the
+profiler report and :class:`~repro.core.archive_reader.IntegrityReport`):
+
+* ``hits`` / ``misses`` -- fragment executions served from the cache versus
+  fragment translations,
+* ``chained_branches`` -- block transitions that followed a back-patched
+  direct edge, bypassing the hash lookup entirely,
+* ``retranslations`` -- translations of an entry point that had already been
+  translated before (the waste an ``ALWAYS_FRESH`` reuse policy pays when
+  the cache is private and invalidated between members).
+"""
+
+from __future__ import annotations
+
+
+class CodeCache:
+    """Translated-code store shared by the VM execution engines.
+
+    Args:
+        shared: a shared cache is owned by a session and survives
+            :meth:`VirtualMachine.reset`; a private cache is invalidated on
+            reset so an ``ALWAYS_FRESH`` decode starts from a clean slate.
+    """
+
+    __slots__ = ("fragments", "instructions", "known", "shared",
+                 "hits", "misses", "chained_branches", "retranslations")
+
+    def __init__(self, *, shared: bool = False):
+        self.fragments: dict = {}
+        self.instructions: dict = {}
+        #: Entry points ever translated -- survives invalidation, so repeated
+        #: translation of the same entry is observable as a retranslation.
+        self.known: set = set()
+        self.shared = shared
+        self.hits = 0
+        self.misses = 0
+        self.chained_branches = 0
+        self.retranslations = 0
+
+    def __len__(self) -> int:
+        return len(self.fragments)
+
+    def invalidate(self) -> None:
+        """Drop all cached translations (counters and history persist)."""
+        self.fragments.clear()
+        self.instructions.clear()
+
+    def snapshot(self) -> dict:
+        """Counters as a plain dict (for reports and ``--stats`` output)."""
+        return {
+            "fragments": len(self.fragments),
+            "hits": self.hits,
+            "misses": self.misses,
+            "chained_branches": self.chained_branches,
+            "retranslations": self.retranslations,
+        }

@@ -36,11 +36,11 @@ def run_interpreter(vm) -> None:
     memory = vm.memory
     regs = vm.regs
     stats = vm.stats
-    decode_cache = vm.decode_cache
+    decode_cache = vm.code_cache.instructions
     code = memory.buffer
     text_start = vm.text_start
     text_end = vm.text_end
-    budget = vm.limits.max_instructions
+    budget = vm.limits_in_effect.max_instructions
     executed = 0
     pc = vm.pc
 

@@ -46,6 +46,12 @@ class ExecutionLimits:
         """
         budget = max(200_000_000, input_size * 40_000)
         output = max(1 << 26, input_size * 4096)
+        # Scaling provides a *floor* proportional to the input; it must never
+        # raise an explicitly configured ceiling.
+        if self.max_instructions is not None:
+            budget = min(budget, self.max_instructions)
+        if self.max_output_bytes is not None:
+            output = min(output, self.max_output_bytes)
         return ExecutionLimits(
             max_instructions=budget,
             max_output_bytes=output,
@@ -67,6 +73,8 @@ class ExecutionStats:
     fragments_translated: int = 0
     fragment_cache_hits: int = 0
     fragment_cache_misses: int = 0
+    chained_branches: int = 0       # transitions over back-patched direct edges
+    retranslations: int = 0         # translations of an already-seen entry
     syscalls: dict[str, int] = field(default_factory=dict)
     bytes_read: int = 0
     bytes_written: int = 0
@@ -82,6 +90,8 @@ class ExecutionStats:
         self.fragments_translated += other.fragments_translated
         self.fragment_cache_hits += other.fragment_cache_hits
         self.fragment_cache_misses += other.fragment_cache_misses
+        self.chained_branches += other.chained_branches
+        self.retranslations += other.retranslations
         self.bytes_read += other.bytes_read
         self.bytes_written += other.bytes_written
         self.streams_decoded += other.streams_decoded

@@ -15,6 +15,7 @@ from dataclasses import dataclass
 
 from repro.elf.reader import parse_executable
 from repro.errors import GuestFault, VxaError
+from repro.vm.code_cache import CodeCache
 from repro.vm.interpreter import run_interpreter
 from repro.vm.limits import ExecutionLimits, ExecutionStats
 from repro.vm.loader import load_image
@@ -56,6 +57,15 @@ class VirtualMachine:
         check_policy: memory sandbox policy (``full``, ``write-only``,
             ``none``) -- see :mod:`repro.vm.memory`.
         use_fragment_cache: disable only for the fragment-cache ablation.
+        code_cache: a session-owned :class:`~repro.vm.code_cache.CodeCache`
+            shared with other VMs of the same decoder image; ``None`` gives
+            the VM a private cache that is invalidated on :meth:`reset`.
+        superblock_limit: maximum guest instructions per translated trace
+            (``None`` uses the translator default; ``1`` reproduces the old
+            one-basic-block engine).
+        chain_fragments: back-patch direct-branch successors so the
+            dispatcher's hash lookup is only paid on indirect branches
+            (disable only for the chaining ablation).
     """
 
     def __init__(
@@ -67,6 +77,9 @@ class VirtualMachine:
         limits: ExecutionLimits | None = None,
         check_policy: str = CHECK_FULL,
         use_fragment_cache: bool = True,
+        code_cache: CodeCache | None = None,
+        superblock_limit: int | None = None,
+        chain_fragments: bool = True,
     ):
         if engine not in _ENGINES:
             raise ValueError(f"unknown engine {engine!r}")
@@ -78,6 +91,9 @@ class VirtualMachine:
         self.limits = limits or ExecutionLimits()
         self._check_policy = check_policy
         self.use_fragment_cache = use_fragment_cache
+        self.code_cache = code_cache if code_cache is not None else CodeCache()
+        self.superblock_limit = superblock_limit
+        self.chain_fragments = chain_fragments
 
         # Mutable machine state, populated by reset().
         self.memory: GuestMemory | None = None
@@ -85,10 +101,9 @@ class VirtualMachine:
         self.pc = 0
         self.cc = (0, 0)
         self.halted = False
+        self.icount = 0
         self.stats = ExecutionStats()
         self.syscall_handler: SyscallHandler | None = None
-        self.fragment_cache: dict = {}
-        self.decode_cache: dict = {}
         self.text_start = 0
         self.text_end = 0
         self.reset()
@@ -102,11 +117,20 @@ class VirtualMachine:
         attributes differ: any state a previous stream may have left in the
         sandbox is destroyed.
         """
-        self.memory = GuestMemory(
-            self._memory_size,
-            limit=self.limits.max_memory_bytes,
-            check_policy=self._check_policy,
-        )
+        # Reuse the existing sandbox when its geometry is unchanged: the
+        # buffer is zeroed *in place* (GuestMemory.reset preserves object
+        # identity, which engine bindings and translated fragments rely on)
+        # instead of paying a multi-megabyte reallocation per member.  A
+        # sandbox the guest grew beyond its initial size is discarded so a
+        # fresh decode never inherits a larger address space.
+        if self.memory is not None and self.memory.size == self._memory_size:
+            self.memory.reset()
+        else:
+            self.memory = GuestMemory(
+                self._memory_size,
+                limit=self.limits.max_memory_bytes,
+                check_policy=self._check_policy,
+            )
         loaded = load_image(self._image, self.memory)
         self.regs = [0] * 8
         self.regs[7] = loaded.stack_top
@@ -115,8 +139,12 @@ class VirtualMachine:
         self.halted = False
         self.text_start = loaded.text_start
         self.text_end = loaded.text_end
-        self.fragment_cache = {}
-        self.decode_cache = {}
+        # A session-shared cache survives re-initialisation: translations are
+        # derived from the (identical, freshly reloaded) decoder image, never
+        # from member data, so keeping them leaks nothing between files.  A
+        # private cache is dropped so ALWAYS_FRESH semantics stay pristine.
+        if not self.code_cache.shared:
+            self.code_cache.invalidate()
         self.syscall_handler = None
 
     def _restart(self) -> None:

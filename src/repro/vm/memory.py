@@ -66,8 +66,15 @@ class GuestMemory:
     # -- sandbox management -------------------------------------------------
 
     def reset(self) -> None:
-        """Zero the sandbox (used when re-initialising the VM between files)."""
-        self.buffer = bytearray(self.size)
+        """Zero the sandbox (used when re-initialising the VM between files).
+
+        The backing ``bytearray`` is zeroed *in place* rather than rebound:
+        the execution engines and translated fragments bind the buffer object
+        directly, so rebinding would leave them decoding and mutating a dead
+        buffer while the live sandbox stays stale.
+        """
+        buffer = self.buffer
+        buffer[:] = bytes(len(buffer))
 
     def grow(self, new_size: int) -> int:
         """Grow the accessible region to ``new_size`` bytes (``setperm``).

@@ -18,6 +18,18 @@ def cache_hit_rate(stats: ExecutionStats) -> float:
     return stats.fragment_cache_hits / total
 
 
+def chain_rate(stats: ExecutionStats) -> float:
+    """Fraction of executed blocks reached over a back-patched direct edge.
+
+    These transitions bypass the dispatcher's hash lookup entirely; the
+    remainder paid either a cache lookup (indirect branches) or a
+    translation.
+    """
+    if stats.blocks_executed == 0:
+        return 0.0
+    return stats.chained_branches / stats.blocks_executed
+
+
 def instructions_per_output_byte(stats: ExecutionStats) -> float:
     """Guest decode cost normalised by decoded output size."""
     if stats.bytes_written == 0:
@@ -32,6 +44,9 @@ def summarize(stats: ExecutionStats) -> dict:
         "blocks_executed": stats.blocks_executed,
         "fragments_translated": stats.fragments_translated,
         "fragment_cache_hit_rate": round(cache_hit_rate(stats), 4),
+        "chained_branches": stats.chained_branches,
+        "chain_rate": round(chain_rate(stats), 4),
+        "retranslations": stats.retranslations,
         "bytes_read": stats.bytes_read,
         "bytes_written": stats.bytes_written,
         "instructions_per_output_byte": (

@@ -27,8 +27,11 @@ def deflate_decompress(data: bytes, expected_size: int | None = None) -> bytes:
     """Raw DEFLATE decompression with an optional output-size sanity bound."""
     decompressor = zlib.decompressobj(-15)
     limit = expected_size if expected_size is not None else -1
-    output = decompressor.decompress(data, max(0, limit) if limit >= 0 else 0)
-    output += decompressor.flush()
+    try:
+        output = decompressor.decompress(data, max(0, limit) if limit >= 0 else 0)
+        output += decompressor.flush()
+    except zlib.error as error:
+        raise ZipFormatError(f"corrupt deflate member: {error}") from None
     if expected_size is not None and len(output) != expected_size:
         raise ZipFormatError(
             f"deflate member decompressed to {len(output)} bytes, expected {expected_size}"

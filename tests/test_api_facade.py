@@ -206,6 +206,71 @@ def test_session_counters_honor_same_domain(tmp_path):
     assert (shared.vm_initialisations, shared.vm_reuses) == (1, 5)
 
 
+def test_session_shares_translations_when_reuse_permitted(tmp_path):
+    """Members sharing a decoder share its translated code for the session.
+
+    Under REUSE_SAME_ATTRIBUTES a protection-domain flip forces the sandbox
+    to be re-initialised, but translations derive from the decoder image
+    alone, so the session-owned code cache keeps them: only the first member
+    pays translation.
+    """
+    path = tmp_path / "shared-code.zip"
+    with vxa.create(path) as builder:
+        for index in range(4):
+            mode = 0o600 if index < 2 else 0o644    # forces one re-init
+            builder.add(f"f{index}.txt", b"code cache payload %d " % index * 60,
+                        attributes=SecurityAttributes(mode=mode))
+    options = vxa.ReadOptions(mode=vxa.MODE_VXA,
+                              reuse=VmReusePolicy.REUSE_SAME_ATTRIBUTES)
+    with vxa.open(path, options) as archive:
+        for name in archive.names():
+            archive.extract(name)
+        stats = archive.session.stats
+    assert stats.decodes == 4
+    assert stats.fragments_translated > 0
+    assert stats.retranslations == 0          # nothing translated twice
+    assert stats.chained_branches > 0
+    assert stats.cache_hits > stats.fragments_translated
+
+    # The safe default (ALWAYS_FRESH) keeps caches private and pays
+    # retranslation on every member; the counters expose that cost.
+    with vxa.open(path, vxa.ReadOptions(mode=vxa.MODE_VXA)) as archive:
+        for name in archive.names():
+            archive.extract(name)
+        fresh_stats = archive.session.stats
+    assert fresh_stats.retranslations > 0
+
+
+def test_integrity_report_carries_code_cache_counters(tmp_path):
+    path = tmp_path / "counters.zip"
+    with vxa.create(path) as builder:
+        builder.add("a.txt", b"integrity counter payload " * 50)
+        builder.add("b.txt", b"integrity counter payload " * 51)
+    with vxa.open(path) as archive:
+        report = archive.check(reuse=VmReusePolicy.ALWAYS_REUSE)
+    assert report.ok
+    assert report.fragments_translated > 0
+    assert report.chained_branches > 0
+    assert report.retranslations == 0
+    from repro.core.integrity import format_report
+    text = format_report(report)
+    assert "code cache" in text and "chained branch(es)" in text
+
+
+def test_read_options_engine_tuning_knobs(tmp_path):
+    with pytest.raises(ValueError):
+        vxa.ReadOptions(superblock_limit=0)
+    path = tmp_path / "tuned.zip"
+    with vxa.create(path) as builder:
+        builder.add("t.txt", b"tuning knob payload " * 40)
+    options = vxa.ReadOptions(mode=vxa.MODE_VXA, superblock_limit=1,
+                              chain_fragments=False)
+    with vxa.open(path, options) as archive:
+        data = archive.extract("t.txt").data
+        assert data == b"tuning knob payload " * 40
+        assert archive.session.stats.chained_branches == 0
+
+
 def test_same_domain_compares_owner_and_group(tmp_path):
     """uid/gid survive the archive round trip and gate VM reuse."""
     path = tmp_path / "owners.zip"

@@ -47,6 +47,24 @@ def test_cli_create_list_extract_check(workspace, capsys):
     assert "integrity: OK" in capsys.readouterr().out
 
 
+def test_cli_extract_stats_prints_code_cache_counters(workspace, capsys):
+    tmp_path, source_dir = workspace
+    archive = tmp_path / "stats.zip"
+    assert main(["create", str(archive), str(source_dir / "module.c")]) == 0
+    capsys.readouterr()
+    out_dir = tmp_path / "stats-out"
+    assert main(["extract", str(archive), "-o", str(out_dir), "--vxa",
+                 "--stats", "--reuse", "always-reuse"]) == 0
+    output = capsys.readouterr().out
+    assert "code cache:" in output
+    assert "fragment(s) translated" in output
+    assert "chained branch(es)" in output
+    assert "cache hit(s)" in output
+    assert "retranslation(s)" in output
+    # Extraction itself must be unaffected by the stats flag.
+    assert (out_dir / "module.c").read_bytes() == (source_dir / "module.c").read_bytes()
+
+
 def test_cli_extract_single_member_native_path(workspace, capsys):
     tmp_path, source_dir = workspace
     archive = tmp_path / "one.zip"

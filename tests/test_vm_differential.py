@@ -1,0 +1,232 @@
+"""Differential fuzzing of the VM execution engines.
+
+The superblock translator performs aggressive transformations -- trace
+formation across basic blocks, fragment chaining, in-fragment loop
+compilation, register/condition-code hoisting, bounds-based mask elision and
+address CSE -- so this suite is its safety net: randomized guest programs
+(generated straight into assembler source) must behave *identically* on the
+reference interpreter and on the translator in every configuration worth
+shipping: default superblocks, single-instruction fragments and chaining
+disabled.
+
+"Identically" covers exit code, stdout, stderr, the final register file, the
+final condition codes and the entire guest memory image.  A separate set of
+fixed adversarial programs checks that fault *types* also agree.
+"""
+
+from __future__ import annotations
+
+import random
+
+import pytest
+
+from repro.errors import DivisionFault, GuestFault, MemoryFault
+from repro.vm.machine import ENGINE_INTERPRETER, ENGINE_TRANSLATOR, VirtualMachine
+
+from tests.conftest import build_asm
+
+#: Registers the generator may freely clobber (r0 is the syscall register,
+#: r6 holds the data-buffer base, r7 is the stack pointer).
+_SCRATCH = (1, 2, 3, 4, 5)
+
+_ALU_RR = ("add", "sub", "mul", "and", "or", "xor", "shl", "shru", "shrs")
+_ALU_RI = ("addi", "subi", "muli", "andi", "ori", "xori", "shli", "shrui", "shrsi")
+_CONDS = ("je", "jne", "jlts", "jles", "jgts", "jges", "jltu", "jleu", "jgtu", "jgeu")
+_LOADS = ("ld32", "ld16u", "ld8u", "ld16s", "ld8s")
+_STORES = {"st32": 4, "st16": 2, "st8": 1}
+
+
+def _random_program(seed: int) -> str:
+    """Generate a random, always-terminating guest program.
+
+    The program mixes ALU soup, loads/stores confined to a 256-byte data
+    window, bounded counter loops, forward branches, call/ret pairs and
+    push/pop traffic, then writes the data window to stdout and exits with a
+    register-derived code -- plenty of surface for superblock formation,
+    chaining and in-fragment loops to go wrong observably.
+    """
+    rng = random.Random(seed)
+    lines = ["_start:", "    movi r6, buffer"]
+    label = 0
+
+    def fresh_label(prefix: str) -> str:
+        nonlocal label
+        label += 1
+        return f"{prefix}{label}"
+
+    def random_ops(depth: int, budget: int) -> list[str]:
+        ops: list[str] = []
+        for _ in range(budget):
+            kind = rng.randrange(10)
+            rd = rng.choice(_SCRATCH)
+            rs = rng.choice(_SCRATCH)
+            if kind <= 2:
+                ops.append(f"    {rng.choice(_ALU_RR)} r{rd}, r{rs}")
+            elif kind <= 4:
+                imm = rng.choice((rng.randrange(64), rng.randrange(1 << 32)))
+                ops.append(f"    {rng.choice(_ALU_RI)} r{rd}, {imm}")
+            elif kind == 5:                    # aligned-window store
+                mnemonic, width = rng.choice(list(_STORES.items()))
+                offset = rng.randrange(0, 256 - width, width)
+                ops.append(f"    lea r{rd}, [r6+{offset}]")
+                ops.append(f"    {mnemonic} [r{rd}], r{rs}")
+            elif kind == 6:                    # window load
+                mnemonic = rng.choice(_LOADS)
+                offset = rng.randrange(0, 252)
+                ops.append(f"    {mnemonic} r{rd}, [r6+{offset}]")
+            elif kind == 7:                    # forward branch over a few ops
+                skip = fresh_label("skip")
+                ops.append(f"    cmpi r{rd}, {rng.randrange(1 << 32)}")
+                ops.append(f"    {rng.choice(_CONDS)} {skip}")
+                ops.extend(random_ops(depth + 1, rng.randrange(1, 3)))
+                ops.append(f"{skip}:")
+            elif kind == 8 and depth == 0:     # bounded counter loop
+                head = fresh_label("loop")
+                done = fresh_label("brk")
+                counter = rng.choice(_SCRATCH)
+                top_tested = rng.random() < 0.5
+                ops.append(f"    movi r{counter}, {rng.randrange(2, 7)}")
+                ops.append(f"{head}:")
+                if top_tested:
+                    # Exit branch *before* the body: the side exit's register
+                    # write-back must still cover body-modified registers
+                    # from previous iterations (regression for the looping
+                    # superblock spill bug).
+                    ops.append(f"    cmpi r{counter}, 0")
+                    ops.append(f"    jleu {done}")
+                body = random_ops(depth + 1, rng.randrange(1, 4))
+                # The loop must terminate: nothing in the body may touch the
+                # counter (in any operand position) and push/pop pairs could
+                # be half-filtered, so drop them wholesale.
+                body = [line for line in body
+                        if f"r{counter}" not in line
+                        and "push" not in line and "pop" not in line
+                        and "[r" not in line]
+                ops.extend(body)
+                ops.append(f"    subi r{counter}, 1")
+                if top_tested:
+                    ops.append(f"    jmp {head}")
+                else:
+                    ops.append(f"    cmpi r{counter}, 0")
+                    ops.append(f"    jgtu {head}")
+                ops.append(f"{done}:")
+            else:                              # push/pop pair
+                ops.append(f"    push r{rd}")
+                ops.extend(random_ops(depth + 1, rng.randrange(0, 2)))
+                ops.append(f"    pop r{rs}")
+        return ops
+
+    lines += random_ops(0, rng.randrange(12, 30))
+
+    if rng.random() < 0.6:                     # call/ret through a helper
+        lines.append("    call helper")
+        lines.append("    call helper")
+
+    # Write the data window, then exit with a truncated register value.
+    lines += [
+        "    movi r0, 2",
+        "    movi r1, 1",
+        "    movi r2, buffer",
+        "    movi r3, 256",
+        "    vxcall",
+        f"    mov  r1, r{rng.choice(_SCRATCH)}",
+        "    andi r1, 63",
+        "    movi r0, 0",
+        "    vxcall",
+        "helper:",
+        "    push r2",
+        f"    {rng.choice(_ALU_RR)} r1, r2",
+        f"    {rng.choice(_ALU_RI)} r2, {rng.randrange(1 << 16)}",
+        "    pop r2",
+        "    ret",
+        ".data",
+        "buffer:",
+        "    .space 256",
+    ]
+    return "\n".join(lines)
+
+
+def _run(image: bytes, engine: str, **vm_kwargs):
+    # Generated programs terminate within a few thousand instructions; the
+    # explicit ceiling turns a generator bug into a fast failure, not a hang.
+    from repro.vm.limits import ExecutionLimits
+    limits = ExecutionLimits(max_instructions=2_000_000)
+    vm = VirtualMachine(image, engine=engine, limits=limits, **vm_kwargs)
+    result = vm.decode(b"", limits=limits)
+    return result, list(vm.regs), tuple(vm.cc), bytes(vm.memory.buffer)
+
+
+#: Translator configurations that must all match the interpreter.
+_TRANSLATOR_CONFIGS = [
+    {},                                        # default superblock engine
+    {"superblock_limit": 1},                   # one instruction per fragment
+    {"chain_fragments": False},                # chaining ablation
+    {"use_fragment_cache": False, "chain_fragments": False},
+]
+
+
+@pytest.mark.parametrize("seed", range(30))
+def test_random_programs_agree_across_engines(seed):
+    image = build_asm(_random_program(seed))
+    reference = _run(image, ENGINE_INTERPRETER)
+    for config in _TRANSLATOR_CONFIGS:
+        candidate = _run(image, ENGINE_TRANSLATOR, **config)
+        assert candidate[0].exit_code == reference[0].exit_code, (seed, config)
+        assert candidate[0].output == reference[0].output, (seed, config)
+        assert candidate[0].stderr == reference[0].stderr, (seed, config)
+        assert candidate[1] == reference[1], (seed, config)   # registers
+        assert candidate[2] == reference[2], (seed, config)   # condition codes
+        assert candidate[3] == reference[3], (seed, config)   # whole memory
+
+
+def test_instruction_counts_agree_exactly():
+    """Superblock accounting (one addition per exit) must stay exact."""
+    for seed in range(8):
+        image = build_asm(_random_program(seed))
+        interp, *_ = _run(image, ENGINE_INTERPRETER)
+        trans, *_ = _run(image, ENGINE_TRANSLATOR)
+        assert trans.stats.instructions == interp.stats.instructions, seed
+
+
+_FAULT_PROGRAMS = [
+    ("wild_store", "    movi r1, 0x7000000\n    movi r2, 1\n    st32 [r1], r2\n    halt\n",
+     MemoryFault),
+    ("wild_load", "    movi r1, 0x7ffffffc\n    ld32 r2, [r1]\n    halt\n",
+     MemoryFault),
+    ("straddling_store", "    movi r1, 0x3ffffe\n    movi r2, 9\n    st32 [r1], r2\n    halt\n",
+     MemoryFault),
+    ("div_zero", "    movi r1, 5\n    movi r2, 0\n    divu r1, r2\n    halt\n",
+     DivisionFault),
+    ("rem_zero", "    movi r1, 5\n    movi r2, 0\n    rems r1, r2\n    halt\n",
+     DivisionFault),
+    ("jump_wild", "    movi r1, 0x123456\n    jmpr r1\n", GuestFault),
+]
+
+
+@pytest.mark.parametrize("name,body,expected",
+                         _FAULT_PROGRAMS, ids=[p[0] for p in _FAULT_PROGRAMS])
+def test_fault_behaviour_agrees_across_engines(name, body, expected):
+    image = build_asm("_start:\n" + body)
+    for engine in (ENGINE_INTERPRETER, ENGINE_TRANSLATOR):
+        with pytest.raises(expected):
+            VirtualMachine(image, engine=engine).decode(b"")
+
+
+def test_randomized_out_of_bounds_addresses_fault_identically():
+    rng = random.Random(1234)
+    for _ in range(10):
+        address = rng.randrange(0x400000, 1 << 32)
+        for mnemonic in ("ld32", "st32", "ld8u", "st8"):
+            if mnemonic.startswith("ld"):
+                body = f"    movi r1, {address}\n    {mnemonic} r2, [r1]\n    halt\n"
+            else:
+                body = f"    movi r1, {address}\n    movi r2, 7\n    {mnemonic} [r1], r2\n    halt\n"
+            image = build_asm("_start:\n" + body)
+            outcomes = []
+            for engine in (ENGINE_INTERPRETER, ENGINE_TRANSLATOR):
+                try:
+                    VirtualMachine(image, engine=engine).decode(b"")
+                    outcomes.append("ok")
+                except MemoryFault:
+                    outcomes.append("fault")
+            assert outcomes[0] == outcomes[1] == "fault", (address, mnemonic)

@@ -319,6 +319,36 @@ def test_jump_into_data_segment_faults(engine):
 
 
 @pytest.mark.parametrize("engine", ENGINES)
+def test_per_run_limits_are_enforced_by_the_engines(engine, echo_decoder_image):
+    """Regression: limits passed to decode() (e.g. input-scaled budgets) must
+    bound the run, not just the syscall layer."""
+    vm = VirtualMachine(echo_decoder_image, engine=engine)
+    with pytest.raises(ResourceLimitExceeded):
+        vm.decode(b"x" * 4096, limits=ExecutionLimits(max_instructions=10))
+
+
+def test_scaled_limits_never_exceed_configured_ceilings():
+    limits = ExecutionLimits(max_instructions=10_000, max_output_bytes=2048)
+    scaled = limits.scaled_for_input(1 << 20)
+    assert scaled.max_instructions == 10_000
+    assert scaled.max_output_bytes == 2048
+    # With default (huge) ceilings the input-proportional floor applies.
+    default_scaled = ExecutionLimits().scaled_for_input(0)
+    assert default_scaled.max_instructions == 200_000_000
+
+
+def test_reset_reuses_sandbox_buffer_in_place(echo_decoder_image):
+    """Back-to-back fresh decodes zero the same sandbox instead of paying a
+    reallocation -- and engine-held buffer bindings therefore stay live."""
+    vm = VirtualMachine(echo_decoder_image, engine=ENGINE_TRANSLATOR)
+    buffer = vm.memory.buffer
+    first = vm.decode(b"abc")
+    second = vm.decode(b"xyz")
+    assert (first.output, second.output) == (b"abc", b"xyz")
+    assert vm.memory.buffer is buffer
+
+
+@pytest.mark.parametrize("engine", ENGINES)
 def test_infinite_loop_hits_instruction_budget(engine):
     source = """
     _start:
@@ -528,3 +558,152 @@ def test_fragment_cache_can_be_disabled(echo_decoder_image):
     assert result.output == b"a" * 4096
     assert result.stats.fragment_cache_hits == 0
     assert result.stats.fragments_translated == result.stats.blocks_executed
+
+
+# -- superblocks, chaining and the code cache ------------------------------------
+
+
+def test_translator_chains_direct_branches(echo_decoder_image):
+    vm = VirtualMachine(echo_decoder_image, engine=ENGINE_TRANSLATOR)
+    result = vm.decode(b"a" * 64 * 1024)
+    stats = result.stats
+    # Most block transitions must ride a back-patched direct edge, so the
+    # dispatcher's hash lookups are confined to indirect branches.
+    assert stats.chained_branches > 0
+    assert stats.chained_branches > stats.fragments_translated
+    assert stats.retranslations == 0
+
+
+def test_chaining_can_be_disabled(echo_decoder_image):
+    vm = VirtualMachine(
+        echo_decoder_image, engine=ENGINE_TRANSLATOR, chain_fragments=False
+    )
+    payload = b"b" * 8192
+    result = vm.decode(payload)
+    assert result.output == payload
+    assert result.stats.chained_branches == 0
+    assert result.stats.fragment_cache_hits > 0    # cache still works
+
+
+def test_superblock_limit_is_honoured(echo_decoder_image):
+    limited = VirtualMachine(
+        echo_decoder_image, engine=ENGINE_TRANSLATOR, superblock_limit=1
+    )
+    unlimited = VirtualMachine(echo_decoder_image, engine=ENGINE_TRANSLATOR)
+    payload = bytes(range(256)) * 16
+    assert limited.decode(payload).output == unlimited.decode(payload).output
+    single = max(f.instruction_count
+                 for f in limited.code_cache.fragments.values())
+    assert single == 1
+    assert max(f.instruction_count
+               for f in unlimited.code_cache.fragments.values()) > 1
+
+
+def test_private_code_cache_retranslates_after_reset(echo_decoder_image):
+    vm = VirtualMachine(echo_decoder_image, engine=ENGINE_TRANSLATOR)
+    first = vm.decode(b"x" * 1024)
+    assert first.stats.fragments_translated > 0
+    second = vm.decode(b"x" * 1024)                # fresh=True resets the VM
+    # ALWAYS_FRESH-style use pays translation again, and the engine says so.
+    assert second.stats.fragments_translated > 0
+    assert second.stats.retranslations == second.stats.fragments_translated
+
+
+def test_shared_code_cache_survives_reset(echo_decoder_image):
+    from repro.vm.code_cache import CodeCache
+
+    cache = CodeCache(shared=True)
+    vm = VirtualMachine(
+        echo_decoder_image, engine=ENGINE_TRANSLATOR, code_cache=cache
+    )
+    first = vm.decode(b"x" * 1024)
+    assert first.stats.fragments_translated > 0
+    second = vm.decode(b"x" * 1024)
+    assert second.output == first.output
+    assert second.stats.fragments_translated == 0  # translations carried over
+    assert second.stats.retranslations == 0
+    assert cache.snapshot()["fragments"] > 0
+
+
+def test_shared_code_cache_across_vm_instances(echo_decoder_image):
+    from repro.vm.code_cache import CodeCache
+
+    cache = CodeCache(shared=True)
+    one = VirtualMachine(echo_decoder_image, code_cache=cache)
+    payload = b"hello vxa"
+    assert one.decode(payload).output == payload
+    two = VirtualMachine(echo_decoder_image, code_cache=cache)
+    result = two.decode(payload)
+    assert result.output == payload
+    assert result.stats.fragments_translated == 0
+
+
+def test_interpreter_uses_code_cache_instruction_store(echo_decoder_image):
+    vm = VirtualMachine(echo_decoder_image, engine=ENGINE_INTERPRETER)
+    vm.decode(b"abc")
+    assert len(vm.code_cache.instructions) > 0
+
+
+def test_loop_side_exit_spills_registers_written_later_in_the_body():
+    """Regression: a looping fragment's early side exit must write back
+    registers that only *later* loop-body instructions modify -- those
+    instructions ran on every previous iteration."""
+    source = """
+    _start:
+    head:
+        addi r1, 1
+        cmpi r1, 3
+        je   out          ; exit positioned before the r2 update
+        addi r2, 10
+        jmp  head
+    out:
+        cmpi r2, 20       ; two completed iterations -> r2 == 20
+        je   good
+        movi r1, 1
+        jmp  done
+    good:
+        movi r1, 0
+    done:
+        movi r0, 0
+        vxcall
+    """
+    for engine in ENGINES:
+        result = run_asm(source, engine)
+        assert result.exit_code == 0, engine
+
+
+def test_push_after_load_keeps_its_own_stack_guard():
+    """Regression: a read guard on the pre-decrement stack pointer must not
+    subsume the write guard on the post-decrement one."""
+    source = """
+    _start:
+        movi r7, 2        ; park sp just above address zero
+        ld32 r1, [r7]     ; in bounds: emits (and caches) a guard on r7
+        push r2           ; sp wraps to 0xfffffffe -> must fault precisely
+        halt
+    """
+    with pytest.raises(MemoryFault) as caught:
+        run_asm(source, ENGINE_TRANSLATOR)
+    assert caught.value.kind == "write"
+    assert caught.value.size == 4
+
+
+def test_host_errors_in_syscall_layer_are_not_masked_as_guest_faults(
+        echo_decoder_image):
+    """An IndexError out of the host syscall layer must propagate, not be
+    rewritten into a guest MemoryFault by the dispatcher's backstop."""
+    vm = VirtualMachine(echo_decoder_image, engine=ENGINE_TRANSLATOR)
+    vm.reset()
+    payload = b"data"
+    from repro.vm.syscalls import StreamSet
+    vm.attach_streams(StreamSet.from_bytes(payload))
+
+    original = vm.syscall_handler.dispatch
+
+    def broken_dispatch(*args):
+        raise IndexError("host bug, not a guest fault")
+
+    vm.syscall_handler.dispatch = broken_dispatch
+    with pytest.raises(IndexError):
+        vm.run()
+    vm.syscall_handler.dispatch = original

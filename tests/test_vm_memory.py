@@ -113,6 +113,45 @@ def test_reset_zeroes_memory():
     assert memory.load32(0) == 0
 
 
+def test_reset_preserves_buffer_identity():
+    """Regression: reset() must zero in place, not rebind the bytearray.
+
+    The execution engines (and translated fragments) bind ``memory.buffer``
+    directly; a reset that swapped in a fresh bytearray would leave them
+    reading stale guest code and writing to dead memory.
+    """
+    memory = GuestMemory(4096)
+    aliased = memory.buffer
+    memory.store32(128, 0xDEADBEEF)
+    memory.reset()
+    assert memory.buffer is aliased
+    assert not any(aliased)
+    # A grown sandbox keeps both its size and its identity across reset.
+    memory.grow(8192)
+    grown = memory.buffer
+    memory.store8(8000, 7)
+    memory.reset()
+    assert memory.buffer is grown
+    assert memory.size == 8192 and len(memory.buffer) == 8192
+    assert memory.load8u(8000) == 0
+
+
+def test_translator_survives_in_place_memory_reset():
+    """An engine binding taken before reset() still sees live memory."""
+    from repro.vm.translator import Translator
+
+    memory = GuestMemory(4096)
+    # hand-encode: movi r1, 7  (0x10, reg, imm32) ; halt (0x00)
+    code = bytes([0x10, 1]) + (7).to_bytes(4, "little") + bytes([0x00])
+    memory.write_bytes(0, code)
+    translator = Translator(memory, 0, len(code))
+    before = translator.translate(0).source
+    memory.reset()
+    memory.write_bytes(0, code)       # reload the same image in place
+    after = translator.translate(0).source
+    assert before == after
+
+
 @given(
     address=st.integers(min_value=0, max_value=4092),
     value=st.integers(min_value=0, max_value=2**32 - 1),
