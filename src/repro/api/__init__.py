@@ -32,10 +32,17 @@ from repro.api.archive import (
     Archive,
     ExtractionRecord,
     MemberInfo,
+    MemberPlan,
     safe_extract_path,
 )
 from repro.api.builder import ArchiveBuilder, ArchivedFileInfo, ArchiveManifest
-from repro.api.options import ReadOptions, WriteOptions
+from repro.api.options import (
+    EXECUTOR_AUTO,
+    EXECUTOR_PROCESS,
+    EXECUTOR_THREAD,
+    ReadOptions,
+    WriteOptions,
+)
 from repro.api.session import DecoderSession, SessionStats
 from repro.core.archive_reader import (
     ExtractedFile,
@@ -61,11 +68,15 @@ __all__ = [
     "ArchiveManifest",
     "IntegrityReport",
     "MemberInfo",
+    "MemberPlan",
     "SecurityAttributes",
     "VmReusePolicy",
     "MODE_AUTO",
     "MODE_NATIVE",
     "MODE_VXA",
+    "EXECUTOR_AUTO",
+    "EXECUTOR_PROCESS",
+    "EXECUTOR_THREAD",
     "safe_extract_path",
 ]
 
@@ -80,7 +91,7 @@ def open(source, options: ReadOptions | None = None) -> Archive:
     if isinstance(source, (str, os.PathLike)):
         file = builtins.open(source, "rb")
         try:
-            return Archive(file, options, owns_file=True)
+            return Archive(file, options, owns_file=True, source_path=source)
         except BaseException:
             file.close()
             raise

@@ -12,6 +12,7 @@ and decoder VM lifecycle is owned by a single
 from __future__ import annotations
 
 import io
+import os
 import pathlib
 from dataclasses import dataclass
 from typing import Iterator
@@ -67,6 +68,29 @@ class ExtractionRecord:
     used_vxa_decoder: bool
     decoded: bool
     codec_name: str | None
+
+
+@dataclass(frozen=True)
+class MemberPlan:
+    """Scheduling facts about one member extraction.
+
+    ``decoder_offset`` is the archived-decoder pseudo-file offset *when the
+    extraction will actually run the archived decoder* under the effective
+    mode -- the :mod:`repro.parallel` scheduler groups members by it so each
+    worker's :class:`DecoderSession` keeps one warm code cache per decoder
+    image.  ``None`` means the member takes a VM-free path (plain ZIP data,
+    stored redec bytes, or a native codec).  ``cost`` is the stored size --
+    the paper's members are decode-bound, so compressed bytes are a serviceable
+    work estimate.  ``domain`` is the canonical protection-domain key used by
+    ``REUSE_SAME_ATTRIBUTES`` so a worker can order its members to minimise
+    sandbox re-initialisations without ever violating the policy.
+    """
+
+    index: int
+    name: str
+    decoder_offset: int | None
+    cost: int
+    domain: tuple
 
 
 class _MemberStream(io.RawIOBase):
@@ -126,12 +150,17 @@ class Archive:
     """
 
     def __init__(self, file, options: ReadOptions | None = None, *,
-                 owns_file: bool = False):
+                 owns_file: bool = False, source_path=None):
         if isinstance(file, (bytes, bytearray, memoryview)):
             file = io.BytesIO(bytes(file))
         self.options = options or ReadOptions()
         self._file = file
         self._owns_file = owns_file
+        #: Filesystem path this archive was opened from, when known.  Worker
+        #: processes re-open the archive independently by path; without one
+        #: the parallel engine ships the raw bytes instead.
+        self._source_path = (pathlib.Path(source_path)
+                             if source_path is not None else None)
         self._zip = ZipReader(file)
         self._registry = self.options.registry or default_registry()
         self._limits = self.options.limits or ExecutionLimits()
@@ -143,6 +172,7 @@ class Archive:
             limits=self._limits,
             superblock_limit=self.options.superblock_limit,
             chain_fragments=self.options.chain_fragments,
+            code_cache_limit=self.options.code_cache_limit,
         )
         self._closed = False
 
@@ -261,17 +291,31 @@ class Archive:
 
     def extract_into(self, directory, names: list[str] | None = None, *,
                      mode: str | None = None,
-                     force_decode: bool | None = None) -> list[ExtractionRecord]:
+                     force_decode: bool | None = None,
+                     jobs: int | None = None) -> list[ExtractionRecord]:
         """Extract members under ``directory``, refusing zip-slip escapes.
 
         Every member name is validated with :func:`safe_extract_path` before
         anything touches the filesystem; a single escaping name aborts the
         whole extraction with :class:`~repro.errors.PathTraversalError`.
+
+        ``jobs`` (default: ``ReadOptions.jobs``) > 1 shards the members by
+        decoder image across the :mod:`repro.parallel` worker pool; output
+        bytes are identical to the serial path (each worker runs this very
+        method over its shard) and the workers' session counters are merged
+        into this archive's :attr:`session` stats.
         """
         directory = pathlib.Path(directory)
         wanted = names if names is not None else self.names()
         directory.mkdir(parents=True, exist_ok=True)
         targets = [(name, safe_extract_path(directory, name)) for name in wanted]
+        jobs = self.options.jobs if jobs is None else jobs
+        if jobs > 1 and len(wanted) > 1:
+            from repro.parallel.engine import parallel_extract_into
+
+            return parallel_extract_into(
+                self, directory, wanted, jobs,
+                mode=mode, force_decode=force_decode)
         records: list[ExtractionRecord] = []
         for name, target in targets:
             entry = self._zip.find(name)
@@ -304,7 +348,9 @@ class Archive:
 
     # -- integrity ------------------------------------------------------------
 
-    def check(self, *, reuse: VmReusePolicy | None = None) -> IntegrityReport:
+    def check(self, *, reuse: VmReusePolicy | None = None,
+              jobs: int | None = None,
+              names: list[str] | None = None) -> IntegrityReport:
         """Verify every member that carries a VXA decoder.
 
         Integrity checks "always run the archived VXA decoder" (paper section
@@ -314,7 +360,20 @@ class Archive:
         ``reuse`` (default: this archive's configured policy), so per-file
         :class:`SecurityAttributes` gate VM reuse exactly as section 2.4
         prescribes; the report carries the session's reuse/re-init counters.
+
+        ``jobs`` (default: ``ReadOptions.jobs``) > 1 shards the decoder-bearing
+        members by decoder image across the :mod:`repro.parallel` worker pool;
+        verdicts (checked/passed/failures) are identical to the serial check
+        and the report's counters aggregate every worker's session.  ``names``
+        restricts the check to those members, in that order (a name missing
+        from the archive raises, exactly as extraction would); the shard
+        workers use it to check their slice.
         """
+        jobs = self.options.jobs if jobs is None else jobs
+        if jobs > 1:
+            from repro.parallel.engine import parallel_check
+
+            return parallel_check(self, jobs, reuse=reuse, names=names)
         session = DecoderSession(
             self._load_decoder,
             policy=reuse if reuse is not None else self.options.reuse,
@@ -322,34 +381,120 @@ class Archive:
             limits=self._limits,
             superblock_limit=self.options.superblock_limit,
             chain_fragments=self.options.chain_fragments,
+            code_cache_limit=self.options.code_cache_limit,
         )
+        entries = (self._zip.entries if names is None
+                   else [self._zip.find(name) for name in names])
         report = IntegrityReport()
-        for entry in self._zip.entries:
-            extension = parse_extension(entry.extra)
-            if extension is None:
-                continue
-            report.checked += 1
-            try:
-                encoded = self._encoded_bytes(entry, extension)
-                data = self._run_archived_decoder(
-                    session, entry, extension, encoded)
-            except (GuestFault, ArchiveError) as error:
-                report.failures.append(f"{entry.name}: {error}")
-                continue
-            if (len(data) != extension.original_size
-                    or crc32(data) != extension.original_crc32):
-                report.failures.append(
-                    f"{entry.name}: decoded output does not match its checksum")
-                continue
-            report.passed += 1
-        report.vm_initialisations = session.stats.vm_initialisations
-        report.vm_reuses = session.stats.vm_reuses
-        report.fragments_translated = session.stats.fragments_translated
-        report.cache_hits = session.stats.cache_hits
-        report.chained_branches = session.stats.chained_branches
-        report.retranslations = session.stats.retranslations
+        for entry in entries:
+            self._check_entry(session, entry, report)
+        report.add_counters(session.stats)
         session.close()
         return report
+
+    def _check_entry(self, session: DecoderSession, entry: ZipEntry,
+                     report: IntegrityReport) -> None:
+        """Run the always-use-the-archived-decoder check for one member."""
+        extension = parse_extension(entry.extra)
+        if extension is None:
+            return
+        report.checked += 1
+        try:
+            encoded = self._encoded_bytes(entry, extension)
+            data = self._run_archived_decoder(session, entry, extension, encoded)
+        except (GuestFault, ArchiveError) as error:
+            report.failures.append(f"{entry.name}: {error}")
+            return
+        if (len(data) != extension.original_size
+                or crc32(data) != extension.original_crc32):
+            report.failures.append(
+                f"{entry.name}: decoded output does not match its checksum")
+            return
+        report.passed += 1
+
+    # -- parallel scheduling support ------------------------------------------
+
+    def extraction_plan(self, names: list[str] | None = None, *,
+                        mode: str | None = None,
+                        force_decode: bool | None = None) -> list[MemberPlan]:
+        """Scheduling facts for each requested member under the effective mode.
+
+        Mirrors :meth:`_member_pipeline`'s dispatch decisions without reading
+        any member data, so the :mod:`repro.parallel` scheduler can shard
+        members by decoder image before any work starts.
+        """
+        mode = self.options.mode if mode is None else mode
+        if mode not in (MODE_AUTO, MODE_NATIVE, MODE_VXA):
+            raise ArchiveError(f"unknown extraction mode {mode!r}")
+        force = self.options.force_decode if force_decode is None else force_decode
+        wanted = names if names is not None else self.names()
+        plan: list[MemberPlan] = []
+        for index, name in enumerate(wanted):
+            entry = self._zip.find(name)
+            extension = parse_extension(entry.extra)
+            decoder_offset: int | None = None
+            if extension is not None:
+                stored_skip = (entry.method == METHOD_STORE
+                               and extension.precompressed and not force)
+                native = (extension.codec_name is not None
+                          and extension.codec_name in self._registry)
+                if not stored_skip and mode != MODE_NATIVE:
+                    if mode == MODE_VXA or not native:
+                        decoder_offset = extension.decoder_offset
+            attributes = self._attributes_for(entry)
+            plan.append(MemberPlan(
+                index=index,
+                name=name,
+                decoder_offset=decoder_offset,
+                cost=max(entry.compressed_size, 1),
+                domain=(attributes.owner, attributes.group,
+                        attributes.world_readable),
+            ))
+        return plan
+
+    def worker_source(self) -> dict:
+        """How a worker process/thread should reopen this archive.
+
+        Returns ``{"path": str}`` when the archive is backed by a named
+        file (workers open it independently -- concurrent seeks on one
+        shared file object would corrupt each other), else ``{"data":
+        bytes}`` with the full archive contents.  A path is only trusted
+        while it still names the very file this reader holds open (after
+        an atomic-rename update the handle and the path are different
+        archives, and workers reopening by name would diverge from the
+        serial path); otherwise the bytes are shipped.
+        """
+        for candidate in (self._source_path, getattr(self._file, "name", None)):
+            if candidate is not None and isinstance(candidate, (str, pathlib.Path)):
+                if self._path_matches_handle(pathlib.Path(candidate)):
+                    return {"path": str(candidate)}
+        file = self._file
+        if isinstance(file, io.BytesIO):
+            return {"data": file.getvalue()}
+        position = file.tell()
+        try:
+            file.seek(0)
+            data = file.read()
+        finally:
+            file.seek(position)
+        return {"data": data}
+
+    def _path_matches_handle(self, path: pathlib.Path) -> bool:
+        """Does ``path`` still name the file this archive holds open?"""
+        try:
+            path_stat = path.stat()
+        except OSError:
+            return False
+        try:
+            handle_stat = os.fstat(self._file.fileno())
+        except (OSError, AttributeError, io.UnsupportedOperation):
+            # No OS-level handle to compare against (BytesIO and friends
+            # never reach here); fall back to the parsed size, the best
+            # identity signal the reader recorded.
+            parsed_size = getattr(getattr(self._zip, "_source", None), "size", None)
+            return parsed_size is not None and path_stat.st_size == parsed_size
+        return (path_stat.st_ino == handle_stat.st_ino
+                and path_stat.st_dev == handle_stat.st_dev)
 
     # -- internals ------------------------------------------------------------
 

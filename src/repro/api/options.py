@@ -22,6 +22,12 @@ from repro.vm.machine import ENGINE_INTERPRETER, ENGINE_TRANSLATOR
 _MODES = (MODE_AUTO, MODE_NATIVE, MODE_VXA)
 _ENGINES = (ENGINE_TRANSLATOR, ENGINE_INTERPRETER)
 
+#: Executor kinds for parallel extraction (``ReadOptions.executor``).
+EXECUTOR_AUTO = "auto"
+EXECUTOR_PROCESS = "process"
+EXECUTOR_THREAD = "thread"
+_EXECUTORS = (EXECUTOR_AUTO, EXECUTOR_PROCESS, EXECUTOR_THREAD)
+
 
 @dataclass(frozen=True)
 class ReadOptions:
@@ -46,6 +52,19 @@ class ReadOptions:
         chain_fragments: back-patch direct-branch successors between
             translated fragments so the dispatcher's hash lookup is only
             paid on indirect branches (disable only for ablations).
+        jobs: default worker count for :meth:`Archive.extract_into` and
+            :meth:`Archive.check` (``1`` keeps the serial path; ``N > 1``
+            shards members by decoder image across the
+            :mod:`repro.parallel` engine).
+        executor: worker pool flavour for ``jobs > 1`` -- ``"process"``
+            (one OS process per worker, true multi-core scaling),
+            ``"thread"`` (in-process pool: cheap startup, used for small
+            archives and tests), or ``"auto"`` to choose by workload size
+            and machine shape.
+        code_cache_limit: optional LRU cap on translated fragments per
+            session-shared code cache, so long-lived services (``vxserve``)
+            cannot grow translation state without bound; evictions are
+            surfaced next to the hit/chain/retranslation counters.
     """
 
     mode: str = MODE_AUTO
@@ -57,6 +76,9 @@ class ReadOptions:
     chunk_size: int = 1 << 16
     superblock_limit: int | None = None
     chain_fragments: bool = True
+    jobs: int = 1
+    executor: str = EXECUTOR_AUTO
+    code_cache_limit: int | None = None
 
     def __post_init__(self):
         if self.mode not in _MODES:
@@ -69,6 +91,12 @@ class ReadOptions:
             raise TypeError("reuse must be a VmReusePolicy")
         if self.superblock_limit is not None and self.superblock_limit < 1:
             raise ValueError("superblock_limit must be at least 1")
+        if self.jobs < 1:
+            raise ValueError("jobs must be at least 1")
+        if self.executor not in _EXECUTORS:
+            raise ValueError(f"unknown executor {self.executor!r}")
+        if self.code_cache_limit is not None and self.code_cache_limit < 1:
+            raise ValueError("code_cache_limit must be at least 1")
 
     def with_changes(self, **changes) -> "ReadOptions":
         """A copy of these options with some fields replaced."""

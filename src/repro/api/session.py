@@ -24,7 +24,7 @@ posture costs.
 
 from __future__ import annotations
 
-from dataclasses import dataclass
+from dataclasses import asdict, dataclass, fields
 from typing import Callable
 
 from repro.core.policy import SecurityAttributes, VmReusePolicy
@@ -50,6 +50,22 @@ class SessionStats:
     cache_hits: int = 0             # blocks served from the fragment cache
     chained_branches: int = 0       # transitions over back-patched edges
     retranslations: int = 0         # translations of an already-seen entry
+    evictions: int = 0              # fragments dropped by the LRU entry cap
+
+    def merge(self, other: "SessionStats") -> None:
+        """Accumulate another session's counters (per-worker stats roll-up)."""
+        for field in fields(self):
+            setattr(self, field.name,
+                    getattr(self, field.name) + getattr(other, field.name))
+
+    def as_dict(self) -> dict:
+        """Counters as a plain dict (JSON transport across worker processes)."""
+        return asdict(self)
+
+    @classmethod
+    def from_dict(cls, data: dict) -> "SessionStats":
+        names = {field.name for field in fields(cls)}
+        return cls(**{key: value for key, value in data.items() if key in names})
 
 
 class DecoderSession:
@@ -64,6 +80,10 @@ class DecoderSession:
         superblock_limit: translator trace-length ceiling (``None`` ->
             engine default).
         chain_fragments: enable direct-branch back-patching in the engine.
+        code_cache_limit: optional LRU entry cap applied to every
+            session-shared :class:`~repro.vm.code_cache.CodeCache`, so a
+            long-running service cannot grow translation state without
+            bound (``None`` -> unbounded; safe for single archives).
     """
 
     def __init__(
@@ -75,6 +95,7 @@ class DecoderSession:
         limits: ExecutionLimits | None = None,
         superblock_limit: int | None = None,
         chain_fragments: bool = True,
+        code_cache_limit: int | None = None,
     ):
         self._load_image = load_image
         self.policy = policy
@@ -82,6 +103,7 @@ class DecoderSession:
         self._limits = limits or ExecutionLimits()
         self._superblock_limit = superblock_limit
         self._chain_fragments = chain_fragments
+        self._code_cache_limit = code_cache_limit
         self._vms: dict[int, VirtualMachine] = {}
         self._code_caches: dict[int, CodeCache] = {}
         self._last_attributes: dict[int, SecurityAttributes] = {}
@@ -112,7 +134,7 @@ class DecoderSession:
             return None
         cache = self._code_caches.get(decoder_offset)
         if cache is None:
-            cache = CodeCache(shared=True)
+            cache = CodeCache(shared=True, limit=self._code_cache_limit)
             self._code_caches[decoder_offset] = cache
         return cache
 
@@ -170,6 +192,7 @@ class DecoderSession:
         self.stats.cache_hits += run.fragment_cache_hits
         self.stats.chained_branches += run.chained_branches
         self.stats.retranslations += run.retranslations
+        self.stats.evictions += run.evictions
         return result
 
     # -- lifecycle -------------------------------------------------------------

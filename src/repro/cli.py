@@ -37,6 +37,7 @@ def _read_options(args) -> vxa.ReadOptions:
         mode=mode,
         force_decode=getattr(args, "force_decode", False),
         reuse=reuse,
+        jobs=max(1, getattr(args, "jobs", 1) or 1),
     )
 
 
@@ -81,12 +82,15 @@ def _cmd_extract(args) -> int:
                 "native decoder" if record.decoded else "stored form (still compressed)")
             print(f"  {record.name}: {record.size} bytes via {how}")
         if getattr(args, "stats", False):
+            # With --jobs > 1 these counters are the merged totals of every
+            # worker's DecoderSession, so the line reads the same either way.
             stats = archive.session.stats
             print(
                 f"code cache: {stats.fragments_translated} fragment(s) translated, "
                 f"{stats.chained_branches} chained branch(es), "
                 f"{stats.cache_hits} cache hit(s), "
-                f"{stats.retranslations} retranslation(s)"
+                f"{stats.retranslations} retranslation(s), "
+                f"{stats.evictions} eviction(s)"
             )
     return 0
 
@@ -116,6 +120,9 @@ def _add_reading_commands(commands) -> None:
     extract.add_argument("--reuse", default=VmReusePolicy.ALWAYS_FRESH.value,
                          choices=[policy.value for policy in VmReusePolicy],
                          help="VM reuse policy across files sharing a decoder")
+    extract.add_argument("-j", "--jobs", type=int, default=1,
+                         help="extract with N parallel workers, sharding "
+                              "members by decoder image (default: 1, serial)")
     extract.set_defaults(handler=_cmd_extract)
 
     check = commands.add_parser("check", help="verify the archive with its own decoders")
@@ -123,6 +130,9 @@ def _add_reading_commands(commands) -> None:
     check.add_argument("--reuse", default=VmReusePolicy.ALWAYS_FRESH.value,
                        choices=[policy.value for policy in VmReusePolicy],
                        help="VM reuse policy across files sharing a decoder")
+    check.add_argument("-j", "--jobs", type=int, default=1,
+                       help="check with N parallel workers, sharding "
+                            "members by decoder image (default: 1, serial)")
     check.set_defaults(handler=_cmd_check)
 
 

@@ -57,6 +57,13 @@ class IntegrityReport:
     entry points.
     """
 
+    #: Session counters carried verbatim (names match ``SessionStats``);
+    #: every producer/merger of reports goes through :meth:`counters` /
+    #: :meth:`add_counters` so a counter added here propagates everywhere.
+    COUNTER_FIELDS = ("vm_initialisations", "vm_reuses",
+                      "fragments_translated", "cache_hits",
+                      "chained_branches", "retranslations", "evictions")
+
     checked: int = 0
     passed: int = 0
     failures: list[str] = field(default_factory=list)
@@ -66,10 +73,24 @@ class IntegrityReport:
     cache_hits: int = 0
     chained_branches: int = 0
     retranslations: int = 0
+    evictions: int = 0
 
     @property
     def ok(self) -> bool:
         return not self.failures and self.checked == self.passed
+
+    def counters(self) -> dict:
+        """The session counters as a plain dict (JSON/worker transport)."""
+        return {name: getattr(self, name) for name in self.COUNTER_FIELDS}
+
+    def add_counters(self, source) -> None:
+        """Accumulate counters from a mapping or counter-bearing object."""
+        for name in self.COUNTER_FIELDS:
+            if isinstance(source, dict):
+                value = source.get(name, 0)
+            else:
+                value = getattr(source, name, 0)
+            setattr(self, name, getattr(self, name) + value)
 
 
 class ArchiveReader:

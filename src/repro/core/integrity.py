@@ -54,7 +54,8 @@ def format_report(report: IntegrityReport) -> str:
             f"code cache      : {report.fragments_translated} fragment(s) translated, "
             f"{report.cache_hits} cache hit(s), "
             f"{report.chained_branches} chained branch(es), "
-            f"{report.retranslations} retranslation(s)"
+            f"{report.retranslations} retranslation(s), "
+            f"{report.evictions} eviction(s)"
         )
     if report.failures:
         lines.append("failures:")

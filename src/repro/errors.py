@@ -67,6 +67,12 @@ class MemoryFault(GuestFault):
         self.size = size
         self.kind = kind
 
+    def __reduce__(self):
+        # args holds the formatted message, not the constructor arguments, so
+        # spell out how to rebuild the fault when it crosses a process
+        # boundary (parallel extraction workers return faults by pickle).
+        return (MemoryFault, (self.address, self.size, self.kind))
+
 
 class IllegalInstructionFault(GuestFault):
     """The guest executed an illegal or unsafe instruction."""

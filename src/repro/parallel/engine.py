@@ -1,0 +1,156 @@
+"""Orchestration: plan, shard, dispatch, and merge for parallel reads.
+
+The facade (:meth:`Archive.extract_into` / :meth:`Archive.check` with
+``jobs > 1``) calls in here.  The flow is always the same four steps:
+
+1. ask the archive for its :class:`~repro.api.archive.MemberPlan`s,
+2. shard them with the cache-affine :class:`~repro.parallel.scheduler.Scheduler`,
+3. run the shards on a :class:`~repro.parallel.pool.WorkerPool` (an
+   ephemeral one for facade calls; ``vxserve`` passes its own long-lived
+   pool so worker caches stay hot across requests),
+4. merge results deterministically: extraction records return in the
+   caller's requested order, check failures in archive order, and every
+   worker session's counters are summed.
+
+Output equality with the serial path is structural, not incidental: each
+worker executes the *serial* extraction/check code over its shard, and every
+decode is verified against the member's recorded CRC before anything is
+surfaced.
+"""
+
+from __future__ import annotations
+
+import contextlib
+import os
+import pathlib
+import tempfile
+
+from repro.api.session import SessionStats
+from repro.core.archive_reader import IntegrityReport
+from repro.parallel.pool import WorkerPool
+from repro.parallel.scheduler import Scheduler
+from repro.parallel.worker import run_check_shard, run_extract_shard
+
+
+@contextlib.contextmanager
+def _shippable_source(archive):
+    """The archive's worker source, spooled to a temp file if data-backed.
+
+    Every shard payload references the same source, and process-mode
+    payloads are pickled independently -- shipping a big archive's raw
+    bytes once per shard would copy it ``jobs`` times over the IPC pipe.
+    A temp file is written once and passed by path instead; workers that
+    still hold it open when it is unlinked keep a valid handle (POSIX).
+    """
+    source = archive.worker_source()
+    if "path" in source:
+        yield source
+        return
+    handle, spooled = tempfile.mkstemp(prefix="vxa-archive-", suffix=".zip")
+    try:
+        with os.fdopen(handle, "wb") as sink:
+            sink.write(source["data"])
+        yield {"path": spooled}
+    finally:
+        os.unlink(spooled)
+
+
+def _run_shards(archive, shards, runner, payloads, jobs, pool=None):
+    total_cost = sum(shard.cost for shard in shards)
+    if pool is not None:
+        return pool.run(runner, payloads)
+    with WorkerPool(min(jobs, len(shards)), archive.options.executor,
+                    total_cost=total_cost, payload=payloads[0]) as ephemeral:
+        return ephemeral.run(runner, payloads)
+
+
+def parallel_extract_into(archive, directory, names, jobs, *,
+                          mode=None, force_decode=None, pool=None):
+    """Sharded :meth:`Archive.extract_into`; see that method for semantics."""
+    from repro.api.archive import ExtractionRecord
+
+    plan = archive.extraction_plan(names, mode=mode, force_decode=force_decode)
+    shards = Scheduler(jobs).plan(plan)
+    if len(shards) <= 1:
+        return archive.extract_into(directory, names, mode=mode,
+                                    force_decode=force_decode, jobs=1)
+    with _shippable_source(archive) as source:
+        payloads = [
+            {
+                "source": source,
+                "options": archive.options,
+                "names": shard.names,
+                "directory": str(directory),
+                "mode": mode,
+                "force_decode": force_decode,
+            }
+            for shard in shards
+        ]
+        results = _run_shards(archive, shards, run_extract_shard, payloads,
+                              jobs, pool=pool)
+    by_name = {}
+    for result in results:
+        archive.session.stats.merge(SessionStats.from_dict(result["stats"]))
+        for record in result["records"]:
+            by_name[record["name"]] = ExtractionRecord(
+                name=record["name"],
+                path=pathlib.Path(record["path"]),
+                size=record["size"],
+                used_vxa_decoder=record["used_vxa_decoder"],
+                decoded=record["decoded"],
+                codec_name=record["codec_name"],
+            )
+    return [by_name[name] for name in names]
+
+
+def parallel_check(archive, jobs, *, reuse=None, names=None, pool=None):
+    """Sharded :meth:`Archive.check`; see that method for semantics."""
+    from repro.api import MODE_VXA
+
+    wanted = names if names is not None else archive.names()
+    # Mode VXA + force_decode mirrors the check's contract: every
+    # decoder-bearing member runs its archived decoder, nothing else runs.
+    plan = [item for item in archive.extraction_plan(
+                wanted, mode=MODE_VXA, force_decode=True)
+            if item.decoder_offset is not None]
+    order = {item.name: item.index for item in plan}
+    shards = Scheduler(jobs).plan(plan)
+    if len(shards) <= 1:
+        return archive.check(reuse=reuse, names=names, jobs=1)
+    with _shippable_source(archive) as source:
+        payloads = [
+            {
+                "source": source,
+                "options": archive.options,
+                "names": shard.names,
+                "reuse": reuse.value if reuse is not None else None,
+            }
+            for shard in shards
+        ]
+        results = _run_shards(archive, shards, run_check_shard, payloads,
+                              jobs, pool=pool)
+    report = IntegrityReport()
+    failures: list[tuple[int, str]] = []
+    for result in results:
+        report.checked += result["checked"]
+        report.passed += result["passed"]
+        for failure in result["failures"]:
+            failures.append((_failure_order(failure, order), failure))
+        report.add_counters(result)
+    report.failures.extend(failure for _, failure in sorted(failures))
+    return report
+
+
+def _failure_order(failure: str, order: dict) -> int:
+    """Archive position of the member a failure string names.
+
+    Failure strings are ``f"{name}: {reason}"`` and member names may
+    themselves contain colons, so match against the known names (longest
+    match wins) instead of parsing the string.
+    """
+    best_name = None
+    for name in order:
+        if failure.startswith(f"{name}:"):
+            if best_name is None or len(name) > len(best_name):
+                best_name = name
+    return order[best_name] if best_name is not None else len(order)

@@ -1,0 +1,169 @@
+"""Worker pool abstraction: OS processes for scaling, threads for cheapness.
+
+``ProcessPoolExecutor`` is the default for real work -- guest decoders are
+CPU-bound pure Python, so only separate interpreters scale across cores.
+The in-process ``ThreadPoolExecutor`` flavour exists for small archives
+(process startup would dominate), for archives only reachable through a
+live file object, and for tests; it exercises exactly the same scheduler,
+worker bootstrap and stats plumbing, just without the serialization
+boundary.  The thread flavour is also why the translator's compiled-source
+memo and every ``CodeCache`` mutation path take locks.
+
+``resolve_executor`` centralises the ``"auto"`` policy so the facade, the
+CLI and ``vxserve`` agree on it.
+"""
+
+from __future__ import annotations
+
+import multiprocessing
+import os
+import pickle
+import threading
+from concurrent.futures import (
+    FIRST_EXCEPTION,
+    ProcessPoolExecutor,
+    ThreadPoolExecutor,
+    wait,
+)
+
+from repro.api.options import EXECUTOR_AUTO, EXECUTOR_PROCESS, EXECUTOR_THREAD
+
+#: Below this much total stored work (bytes), process startup and payload
+#: pickling cost more than multi-core buys; ``auto`` stays in-process.
+PROCESS_MIN_COST = 4 << 20
+
+
+def thread_safe_start_method() -> str:
+    """The start method safe under a multithreaded parent (never fork)."""
+    if "forkserver" in multiprocessing.get_all_start_methods():
+        return "forkserver"
+    return "spawn"  # pragma: no cover - platform-dependent
+
+
+def _default_start_method() -> str:
+    """Fork while it is safe (single-threaded parent), forkserver after."""
+    if hasattr(os, "fork") and threading.active_count() == 1:
+        return "fork"
+    return thread_safe_start_method()
+
+
+def resolve_executor(kind: str, jobs: int, *, total_cost: int | None = None,
+                     payload=None) -> str:
+    """Pick the concrete executor flavour for an ``"auto"`` request.
+
+    Processes are chosen only when they can plausibly win: more than one
+    worker requested, more than one core to run them on, enough work to
+    amortise startup, and a payload the pickle boundary can actually carry.
+    """
+    if kind != EXECUTOR_AUTO:
+        return kind
+    if jobs <= 1 or (os.cpu_count() or 1) <= 1:
+        return EXECUTOR_THREAD
+    if total_cost is not None and total_cost < PROCESS_MIN_COST:
+        return EXECUTOR_THREAD
+    if payload is not None:
+        try:
+            pickle.dumps(payload)
+        except Exception:
+            return EXECUTOR_THREAD
+    return EXECUTOR_PROCESS
+
+
+class WorkerPool:
+    """A fixed pool of workers executing shard payloads.
+
+    Args:
+        jobs: maximum concurrent workers.
+        kind: ``"process"``, ``"thread"`` or ``"auto"`` (resolved with
+            :func:`resolve_executor` -- pass ``total_cost``/``payload`` for
+            a better decision).
+        total_cost: optional total work estimate feeding the auto policy.
+        payload: optional representative payload feeding the auto policy's
+            picklability probe.
+
+    The pool is long-lived by design: ``vxserve`` keeps one across requests
+    so worker-side sessions (and their per-decoder-image code caches) stay
+    warm.  It is also a context manager for the one-shot facade path.
+
+    ``start_method`` picks the multiprocessing start method.  The default
+    (``None``) forks when the creating process is still single-threaded --
+    fork works from any ``__main__`` (stdin scripts, the REPL) and is cheap
+    -- but switches to forkserver/spawn when threads already exist, because
+    a child forked while another thread holds an internal lock inherits
+    that held lock and deadlocks.  ``vxserve`` pins ``"forkserver"``
+    explicitly: its socket transport submits from handler threads that do
+    not exist yet when the pool is created, and its ``__main__`` is always
+    importable so the re-importing start methods are safe there.
+    """
+
+    def __init__(self, jobs: int, kind: str = EXECUTOR_AUTO, *,
+                 total_cost: int | None = None, payload=None,
+                 start_method: str | None = None):
+        if jobs < 1:
+            raise ValueError("jobs must be at least 1")
+        self.jobs = jobs
+        self.kind = resolve_executor(kind, jobs, total_cost=total_cost,
+                                     payload=payload)
+        if self.kind == EXECUTOR_PROCESS:
+            context = multiprocessing.get_context(
+                start_method or _default_start_method())
+            self._executor = ProcessPoolExecutor(max_workers=jobs,
+                                                 mp_context=context)
+        elif self.kind == EXECUTOR_THREAD:
+            self._executor = ThreadPoolExecutor(
+                max_workers=jobs, thread_name_prefix="vxa-worker")
+        else:
+            raise ValueError(f"unknown executor {kind!r}")
+        self._closed = False
+
+    def run(self, fn, payloads: list) -> list:
+        """Run ``fn(payload)`` for every payload; results in payload order.
+
+        Raises the first failure (by payload order) after letting the other
+        workers finish or fail -- a deterministic error surface regardless
+        of completion timing.
+        """
+        futures = [self._executor.submit(fn, payload) for payload in payloads]
+        wait(futures, return_when=FIRST_EXCEPTION)
+        errors = [future.exception() for future in futures]
+        for error in errors:
+            if error is not None:
+                raise error
+        return [future.result() for future in futures]
+
+    def close(self) -> None:
+        if self._closed:
+            return
+        self._closed = True
+        if self.kind == EXECUTOR_THREAD:
+            self._drain_thread_workers()
+        self._executor.shutdown(wait=True)
+
+    def _drain_thread_workers(self) -> None:
+        """Close every thread worker's cached archives before shutdown.
+
+        Worker state lives in ``threading.local``, so each pool thread must
+        run the cleanup itself; the barrier forces the executor to fan the
+        tasks out one-per-thread (it spawns threads up to ``jobs`` while
+        tasks are queued and every task blocks until all have started).
+        Process workers need no equivalent -- their handles die with them.
+        """
+        from repro.parallel.worker import shutdown_worker
+
+        barrier = threading.Barrier(self.jobs)
+
+        def drain() -> None:
+            try:
+                barrier.wait(timeout=10)
+            except threading.BrokenBarrierError:  # pragma: no cover - timeout
+                pass
+            shutdown_worker()
+
+        futures = [self._executor.submit(drain) for _ in range(self.jobs)]
+        wait(futures)
+
+    def __enter__(self) -> "WorkerPool":
+        return self
+
+    def __exit__(self, *exc_info) -> None:
+        self.close()

@@ -1,0 +1,332 @@
+"""``vxserve`` -- a long-running batch extraction/verification service.
+
+The ROADMAP's "archive server" workload: one resident process that accepts
+extract/check requests against many archives and multiplexes them onto a
+single shared :class:`~repro.parallel.pool.WorkerPool`.  Because the pool
+(and therefore each worker's :mod:`~repro.parallel.worker` state) outlives
+any one request, a worker that has already served an archive keeps its
+:class:`~repro.api.session.DecoderSession` -- and each decoder image's
+translated :class:`~repro.vm.code_cache.CodeCache` -- warm for the next
+request, while ``ReadOptions.code_cache_limit`` (on by default here) keeps
+that state bounded over an unbounded request stream.
+
+Protocol: JSON lines.  One request object per line on stdin (or a unix
+socket connection with ``--socket``), one response object per line out::
+
+    {"id": 1, "op": "ping"}
+    {"id": 2, "op": "list",    "archive": "backup.zip"}
+    {"id": 3, "op": "extract", "archive": "backup.zip", "dest": "out",
+     "members": ["a.txt"], "mode": "vxa", "jobs": 4}
+    {"id": 4, "op": "check",   "archive": "backup.zip",
+     "reuse": "reuse-same-attributes"}
+    {"id": 5, "op": "stats"}
+    {"id": 6, "op": "shutdown"}
+
+Responses echo the ``id``: ``{"id": 3, "ok": true, "result": {...}}`` on
+success, ``{"id": 3, "ok": false, "error": "...", "error_type": "..."}`` on
+failure.  A malformed line yields an error response rather than killing the
+service.  Entry point: the ``vxserve`` console script (or ``python -m
+repro.parallel.service``).
+"""
+
+from __future__ import annotations
+
+import argparse
+import io
+import json
+import os
+import pathlib
+import sys
+import threading
+import time
+
+import repro.api as vxa
+from repro.api.options import EXECUTOR_AUTO
+from repro.api.session import SessionStats
+from repro.core.policy import VmReusePolicy
+from repro.parallel.engine import parallel_check, parallel_extract_into
+from repro.parallel.pool import WorkerPool, thread_safe_start_method
+
+#: Default LRU cap on translated fragments per decoder image: generous for
+#: any single decoder, but a hard bound for a service that never exits.
+DEFAULT_CODE_CACHE_LIMIT = 4096
+
+#: ReadOptions fields a request may override per call.
+_OPTION_FIELDS = ("mode", "force_decode", "engine", "superblock_limit",
+                  "chain_fragments", "chunk_size", "code_cache_limit")
+
+
+class BatchService:
+    """Dispatches JSON requests onto one shared worker pool.
+
+    Args:
+        jobs: worker count for the shared pool (default: the machine's CPU
+            count) and the default per-request shard fan-out.
+        executor: pool flavour (``auto``/``process``/``thread``).
+        options: service-wide default :class:`~repro.api.ReadOptions`;
+            per-request fields override a copy.  The service default enables
+            ``REUSE_SAME_ATTRIBUTES`` (§2.4-safe VM reuse, which also shares
+            code caches across members) and a bounded code cache.
+    """
+
+    def __init__(self, *, jobs: int | None = None,
+                 executor: str = EXECUTOR_AUTO,
+                 options: vxa.ReadOptions | None = None):
+        self.jobs = jobs if jobs is not None else (os.cpu_count() or 1)
+        self.options = options or vxa.ReadOptions(
+            reuse=VmReusePolicy.REUSE_SAME_ATTRIBUTES,
+            code_cache_limit=DEFAULT_CODE_CACHE_LIMIT,
+        )
+        # Never fork here: socket-mode requests submit from handler threads,
+        # and those threads do not exist yet when the pool is created, so
+        # the thread-state-based default would wrongly pick fork; vxserve's
+        # __main__ is importable, so the re-importing start methods are
+        # safe (see WorkerPool).
+        self.pool = WorkerPool(self.jobs, executor,
+                               start_method=thread_safe_start_method())
+        self.stats = SessionStats()
+        self.requests = 0
+        self.started = time.time()
+        self._lock = threading.Lock()
+        self._stopping = threading.Event()
+
+    # -- request handling ------------------------------------------------------
+
+    def handle(self, request: dict) -> dict:
+        """Process one request object; always returns a response object."""
+        response: dict = {}
+        if isinstance(request, dict) and "id" in request:
+            response["id"] = request["id"]
+        try:
+            if not isinstance(request, dict):
+                raise ValueError("request must be a JSON object")
+            op = request.get("op")
+            handler = getattr(self, f"_op_{op}", None)
+            if op is None or handler is None:
+                raise ValueError(f"unknown op {op!r}")
+            with self._lock:
+                self.requests += 1
+            response["ok"] = True
+            response["result"] = handler(request)
+        except (KeyboardInterrupt, SystemExit):
+            raise
+        except Exception as error:
+            response["ok"] = False
+            response["error"] = str(error)
+            response["error_type"] = type(error).__name__
+        return response
+
+    def _request_options(self, request: dict) -> vxa.ReadOptions:
+        changes = {field: request[field] for field in _OPTION_FIELDS
+                   if field in request}
+        if "reuse" in request and request["reuse"] is not None:
+            changes["reuse"] = VmReusePolicy(request["reuse"])
+        options = self.options
+        return options.with_changes(**changes) if changes else options
+
+    def _request_jobs(self, request: dict) -> int:
+        jobs = int(request.get("jobs", self.jobs))
+        if jobs < 1:
+            raise ValueError("jobs must be at least 1")
+        return jobs
+
+    def _absorb(self, session_stats: SessionStats) -> None:
+        with self._lock:
+            self.stats.merge(session_stats)
+
+    # -- operations ------------------------------------------------------------
+
+    def _op_ping(self, request: dict) -> dict:
+        return {"pong": True, "pid": os.getpid(),
+                "uptime_seconds": time.time() - self.started}
+
+    def _op_list(self, request: dict) -> dict:
+        with vxa.open(request["archive"], self.options) as archive:
+            members = []
+            for name in archive.names():
+                info = archive.info(name)
+                members.append({
+                    "name": info.name,
+                    "stored_size": info.stored_size,
+                    "original_size": info.original_size,
+                    "codec": info.codec_name,
+                    "precompressed": info.precompressed,
+                    "has_decoder": info.has_decoder,
+                })
+        return {"archive": request["archive"], "members": members}
+
+    def _op_extract(self, request: dict) -> dict:
+        options = self._request_options(request)
+        jobs = self._request_jobs(request)
+        directory = pathlib.Path(request["dest"])
+        start = time.perf_counter()
+        with vxa.open(request["archive"], options) as archive:
+            members = request.get("members")
+            wanted = members if members is not None else archive.names()
+            # Validate every target before any worker touches the disk, as
+            # the serial facade does (zip-slip protection, single abort).
+            directory.mkdir(parents=True, exist_ok=True)
+            for name in wanted:
+                vxa.safe_extract_path(directory, name)
+            records = parallel_extract_into(
+                archive, directory, wanted, jobs, pool=self.pool)
+            stats = archive.session.stats
+            self._absorb(stats)
+            return {
+                "archive": request["archive"],
+                "records": [
+                    {"name": record.name, "path": str(record.path),
+                     "size": record.size, "decoded": record.decoded,
+                     "used_vxa_decoder": record.used_vxa_decoder,
+                     "codec": record.codec_name}
+                    for record in records
+                ],
+                "stats": stats.as_dict(),
+                "elapsed_seconds": time.perf_counter() - start,
+            }
+
+    def _op_check(self, request: dict) -> dict:
+        options = self._request_options(request)
+        jobs = self._request_jobs(request)
+        reuse = request.get("reuse")
+        start = time.perf_counter()
+        with vxa.open(request["archive"], options) as archive:
+            report = parallel_check(
+                archive, jobs,
+                reuse=VmReusePolicy(reuse) if reuse is not None else None,
+                names=request.get("members"), pool=self.pool)
+        self._absorb(SessionStats(decodes=report.checked, **report.counters()))
+        return {
+            "archive": request["archive"],
+            "ok": report.ok,
+            "checked": report.checked,
+            "passed": report.passed,
+            "failures": list(report.failures),
+            **report.counters(),
+            "elapsed_seconds": time.perf_counter() - start,
+        }
+
+    def _op_stats(self, request: dict) -> dict:
+        with self._lock:
+            return {
+                "requests": self.requests,
+                "jobs": self.jobs,
+                "executor": self.pool.kind,
+                "uptime_seconds": time.time() - self.started,
+                "session": self.stats.as_dict(),
+            }
+
+    def _op_shutdown(self, request: dict) -> dict:
+        self._stopping.set()
+        return {"stopping": True}
+
+    # -- transports ------------------------------------------------------------
+
+    @property
+    def stopping(self) -> bool:
+        return self._stopping.is_set()
+
+    def close(self) -> None:
+        self._stopping.set()
+        self.pool.close()
+
+    def serve_stream(self, instream, outstream) -> None:
+        """Serve JSON-lines until EOF or a ``shutdown`` request."""
+        for line in instream:
+            if isinstance(line, bytes):
+                line = line.decode("utf-8", "replace")
+            line = line.strip()
+            if not line:
+                continue
+            try:
+                request = json.loads(line)
+            except json.JSONDecodeError as error:
+                response = {"ok": False, "error": f"bad JSON: {error}",
+                            "error_type": "JSONDecodeError"}
+            else:
+                response = self.handle(request)
+            outstream.write(json.dumps(response) + "\n")
+            outstream.flush()
+            if self.stopping:
+                break
+
+    def serve_socket(self, socket_path) -> None:
+        """Serve connections on a unix socket, one JSON-lines peer each.
+
+        Connections are handled on daemon threads, so several clients can
+        shard work onto the one shared pool concurrently -- the batch-server
+        multiplexing the ROADMAP asks for.
+        """
+        import socketserver
+
+        service = self
+        socket_path = str(socket_path)
+        if os.path.exists(socket_path):
+            os.unlink(socket_path)
+
+        class Handler(socketserver.StreamRequestHandler):
+            def handle(self) -> None:
+                writer = io.TextIOWrapper(self.wfile, encoding="utf-8",
+                                          write_through=True)
+                service.serve_stream(self.rfile, writer)
+                if service.stopping:
+                    threading.Thread(target=self.server.shutdown,
+                                     daemon=True).start()
+
+        class Server(socketserver.ThreadingMixIn,
+                     socketserver.UnixStreamServer):
+            daemon_threads = True
+            allow_reuse_address = True
+
+        with Server(socket_path, Handler) as server:
+            try:
+                server.serve_forever(poll_interval=0.1)
+            finally:
+                if os.path.exists(socket_path):
+                    os.unlink(socket_path)
+
+
+def build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="vxserve",
+        description="vxZIP batch extraction/verification service (JSON lines)",
+    )
+    parser.add_argument("--socket", help="serve on a unix socket path "
+                                         "(default: stdin/stdout)")
+    parser.add_argument("--jobs", type=int, default=None,
+                        help="worker pool size (default: CPU count)")
+    parser.add_argument("--executor", default=EXECUTOR_AUTO,
+                        choices=("auto", "process", "thread"),
+                        help="worker pool flavour")
+    parser.add_argument("--reuse", default=VmReusePolicy.REUSE_SAME_ATTRIBUTES.value,
+                        choices=[policy.value for policy in VmReusePolicy],
+                        help="default VM reuse policy (requests may override)")
+    parser.add_argument("--code-cache-limit", type=int,
+                        default=DEFAULT_CODE_CACHE_LIMIT,
+                        help="LRU cap on translated fragments per decoder "
+                             "image (0 disables the cap)")
+    return parser
+
+
+def main(argv: list[str] | None = None) -> int:
+    args = build_parser().parse_args(argv)
+    options = vxa.ReadOptions(
+        reuse=VmReusePolicy(args.reuse),
+        code_cache_limit=args.code_cache_limit or None,
+    )
+    service = BatchService(jobs=args.jobs, executor=args.executor,
+                           options=options)
+    try:
+        if args.socket:
+            service.serve_socket(args.socket)
+        else:
+            service.serve_stream(sys.stdin, sys.stdout)
+    except KeyboardInterrupt:
+        pass
+    finally:
+        service.close()
+    return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

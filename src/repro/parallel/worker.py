@@ -1,0 +1,177 @@
+"""Worker-side bootstrap: long-lived archives and decoder sessions.
+
+A worker (one OS process of the ``ProcessPoolExecutor``, or one thread of
+the in-process pool) keeps a small LRU of open :class:`~repro.api.Archive`
+objects keyed by archive identity and options.  Each cached archive owns its
+:class:`~repro.api.session.DecoderSession`, which in turn owns one
+:class:`~repro.vm.code_cache.CodeCache` per decoder image -- so a decoder's
+superblocks are translated once per worker and reused for every member the
+scheduler routed there, and (under ``vxserve``) for every later request that
+touches the same archive.  Across *different* archives the process-wide
+compiled-source memo in :mod:`repro.vm.translator` still short-circuits
+recompilation of identical decoder images.
+
+State lives in ``threading.local``: a process-pool worker runs tasks on its
+main thread, a thread-pool worker is itself a thread, so the same bootstrap
+serves both and no state is ever shared between workers.
+
+The shard runners return plain dicts of primitives -- they must cross a
+pickle boundary in process mode and a JSON boundary in ``vxserve``.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import os
+import threading
+from collections import OrderedDict
+
+#: Open archives kept per worker; beyond this the least-recently-used is
+#: closed so a long-running service touching many archives stays bounded.
+MAX_CACHED_ARCHIVES = 8
+
+_STATE = threading.local()
+
+
+def _archives() -> OrderedDict:
+    cache = getattr(_STATE, "archives", None)
+    if cache is None:
+        cache = OrderedDict()
+        _STATE.archives = cache
+    return cache
+
+
+def _source_key(source: dict):
+    if "path" in source:
+        # Key on file identity, not just the name: a long-lived pool
+        # (vxserve) must not serve a cached Archive whose ZipReader parsed
+        # a file that has since been replaced at the same path.
+        path = str(source["path"])
+        try:
+            status = os.stat(path)
+            identity = (status.st_ino, status.st_size, status.st_mtime_ns)
+        except OSError:
+            identity = None
+        return ("path", path, identity)
+    return ("data", hashlib.sha256(source["data"]).hexdigest())
+
+
+def _options_key(options):
+    # ReadOptions is frozen but not reliably hashable (a custom
+    # ExecutionLimits or registry is a mutable object), so key on a
+    # primitive projection.  The registry is fingerprinted by its codec
+    # names, never object identity: process-mode payloads unpickle a fresh
+    # registry object per task, and an identity key would miss the cache
+    # (reopening the archive and cold-starting the session) every time.
+    registry = options.registry
+    registry_key = (tuple(sorted(registry.names()))
+                    if registry is not None else None)
+    return (options.mode, options.force_decode, options.engine,
+            repr(options.limits), options.reuse.value, options.chunk_size,
+            options.superblock_limit, options.chain_fragments,
+            options.code_cache_limit, registry_key)
+
+
+def _acquire_archive(source: dict, options):
+    """The worker's cached archive for ``(source, options)``, opened on miss."""
+    import repro.api as vxa
+
+    source_key = _source_key(source)
+    key = (source_key, _options_key(options))
+    cache = _archives()
+    archive = cache.get(key)
+    if archive is not None:
+        cache.move_to_end(key)
+        return archive
+    if "path" in source:
+        # The file at this path was replaced (identity changed): close any
+        # archives parsed from its previous incarnation right away.
+        stale = [existing for existing in cache
+                 if existing[0][:2] == source_key[:2] and existing[0] != source_key]
+        for existing in stale:
+            cache.pop(existing).close()
+    target = source["path"] if "path" in source else source["data"]
+    # Workers always run the serial path over their shard; the scheduler
+    # already decided the parallelism.
+    archive = vxa.open(target, options.with_changes(jobs=1))
+    cache[key] = archive
+    while len(cache) > MAX_CACHED_ARCHIVES:
+        _, evicted = cache.popitem(last=False)
+        evicted.close()
+    return archive
+
+
+def shutdown_worker() -> None:
+    """Close this worker's cached archives.
+
+    Thread-pool teardown (:meth:`WorkerPool.close`) runs this on every
+    worker thread so no file handles outlive the pool; process workers
+    release their handles when the process exits.
+    """
+    cache = getattr(_STATE, "archives", None)
+    if cache:
+        for archive in cache.values():
+            archive.close()
+        cache.clear()
+
+
+def _stats_delta(before: dict, after: dict) -> dict:
+    return {key: after[key] - before.get(key, 0) for key in after}
+
+
+def run_extract_shard(payload: dict) -> dict:
+    """Extract one shard's members; returns records plus the stats delta.
+
+    Payload keys: ``source`` (``{"path": ...}`` or ``{"data": ...}``),
+    ``options`` (:class:`~repro.api.options.ReadOptions`), ``names`` (the
+    shard's members, already in the scheduler's cache-friendly order),
+    ``directory``, ``mode``, ``force_decode``.
+    """
+    archive = _acquire_archive(payload["source"], payload["options"])
+    before = archive.session.stats.as_dict()
+    records = archive.extract_into(
+        payload["directory"],
+        names=payload["names"],
+        mode=payload.get("mode"),
+        force_decode=payload.get("force_decode"),
+        jobs=1,
+    )
+    after = archive.session.stats.as_dict()
+    return {
+        "records": [
+            {
+                "name": record.name,
+                "path": str(record.path),
+                "size": record.size,
+                "used_vxa_decoder": record.used_vxa_decoder,
+                "decoded": record.decoded,
+                "codec_name": record.codec_name,
+            }
+            for record in records
+        ],
+        "stats": _stats_delta(before, after),
+    }
+
+
+def run_check_shard(payload: dict) -> dict:
+    """Check one shard's members; returns verdicts plus session counters.
+
+    The worker's :meth:`Archive.check` runs over the shard's names in the
+    scheduler's order with a dedicated session, exactly as the serial check
+    does for the whole archive, so per-member verdicts cannot differ.
+    """
+    from repro.core.policy import VmReusePolicy
+
+    archive = _acquire_archive(payload["source"], payload["options"])
+    reuse = payload.get("reuse")
+    report = archive.check(
+        reuse=VmReusePolicy(reuse) if reuse is not None else None,
+        names=payload["names"],
+        jobs=1,
+    )
+    return {
+        "checked": report.checked,
+        "passed": report.passed,
+        "failures": list(report.failures),
+        **report.counters(),
+    }

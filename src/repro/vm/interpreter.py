@@ -36,7 +36,8 @@ def run_interpreter(vm) -> None:
     memory = vm.memory
     regs = vm.regs
     stats = vm.stats
-    decode_cache = vm.code_cache.instructions
+    code_cache = vm.code_cache
+    decode_cache = code_cache.instructions
     code = memory.buffer
     text_start = vm.text_start
     text_end = vm.text_end
@@ -61,7 +62,7 @@ def run_interpreter(vm) -> None:
                     raise IllegalInstructionFault(
                         f"instruction at 0x{pc:08x} straddles the code segment end"
                     )
-                decode_cache[pc] = insn
+                code_cache.store_instruction(pc, insn)
             executed += 1
             op = insn.op
             rd = insn.rd

@@ -75,6 +75,7 @@ class ExecutionStats:
     fragment_cache_misses: int = 0
     chained_branches: int = 0       # transitions over back-patched direct edges
     retranslations: int = 0         # translations of an already-seen entry
+    evictions: int = 0              # fragments dropped by the LRU entry cap
     syscalls: dict[str, int] = field(default_factory=dict)
     bytes_read: int = 0
     bytes_written: int = 0
@@ -92,6 +93,7 @@ class ExecutionStats:
         self.fragment_cache_misses += other.fragment_cache_misses
         self.chained_branches += other.chained_branches
         self.retranslations += other.retranslations
+        self.evictions += other.evictions
         self.bytes_read += other.bytes_read
         self.bytes_written += other.bytes_written
         self.streams_decoded += other.streams_decoded

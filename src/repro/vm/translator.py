@@ -60,6 +60,7 @@ actually falls through to the bad address.
 from __future__ import annotations
 
 import struct
+import threading
 from dataclasses import dataclass
 from typing import Callable
 
@@ -184,6 +185,12 @@ _EXT16 = (1 << 32) - (1 << 16)
 #: of translation; the memo turns retranslation into decode + codegen only.
 _CODE_MEMO: dict[str, object] = {}
 _CODE_MEMO_LIMIT = 4096
+#: The memo is process-wide shared state: the in-process thread pool of
+#: :mod:`repro.parallel` runs several translators concurrently, so every
+#: read-modify-write of the memo must hold this lock.  ``compile`` itself
+#: runs outside the lock -- two threads racing to compile the same source
+#: waste one compilation, never correctness.
+_CODE_MEMO_LOCK = threading.Lock()
 
 
 class Translator:
@@ -500,12 +507,14 @@ class Translator:
             + ["    " + line for line in prologue + body]
         )
         namespace = dict(_FRAGMENT_GLOBALS)
-        code_object = _CODE_MEMO.get(source)
+        with _CODE_MEMO_LOCK:
+            code_object = _CODE_MEMO.get(source)
         if code_object is None:
             code_object = compile(source, f"<vxa-fragment-0x{entry:x}>", "exec")
-            if len(_CODE_MEMO) >= _CODE_MEMO_LIMIT:
-                _CODE_MEMO.clear()
-            _CODE_MEMO[source] = code_object
+            with _CODE_MEMO_LOCK:
+                if len(_CODE_MEMO) >= _CODE_MEMO_LIMIT:
+                    _CODE_MEMO.clear()
+                _CODE_MEMO[source] = code_object
         exec(code_object, namespace)
         return Fragment(
             entry=entry,
@@ -761,6 +770,8 @@ def run_translator(vm) -> None:
     )
     fragments = cache.fragments
     known = cache.known
+    lru_capped = cache.limit is not None
+    evictions_before = cache.evictions
     buf = memory.buffer
 
     blocks = 0
@@ -773,20 +784,28 @@ def run_translator(vm) -> None:
     def resolve(target: int) -> Fragment:
         nonlocal misses, retranslated
         fragment = fragments.get(target) if use_cache else None
-        if fragment is None:
-            if use_cache and len(fragments) >= max_fragments:
-                raise ResourceLimitExceeded(
-                    f"decoder exceeded the translated-fragment limit "
-                    f"({max_fragments})"
-                )
-            fragment = translator.translate(target)
-            misses += 1
-            if target in known:
-                retranslated += 1
-            else:
-                known.add(target)
-            if use_cache:
-                fragments[target] = fragment
+        if fragment is not None:
+            if lru_capped:
+                cache.touch(target)
+            return fragment
+        # The limit bounds translation-table memory.  An LRU cap above the
+        # ceiling leaves this check to fire exactly as before; a cap below
+        # it supersedes the check with a stricter bound (eviction keeps the
+        # table under the cap, and translation work stays bounded by the
+        # instruction budget -- every translation is a block transition).
+        if use_cache and len(fragments) >= max_fragments:
+            raise ResourceLimitExceeded(
+                f"decoder exceeded the translated-fragment limit "
+                f"({max_fragments})"
+            )
+        fragment = translator.translate(target)
+        misses += 1
+        if target in known:
+            retranslated += 1
+        else:
+            known.add(target)
+        if use_cache:
+            cache.store(target, fragment)
         return fragment
 
     try:
@@ -857,7 +876,6 @@ def run_translator(vm) -> None:
         stats.fragment_cache_hits += hits
         stats.chained_branches += chained
         stats.retranslations += retranslated
-        cache.hits += hits
-        cache.misses += misses
-        cache.chained_branches += chained
-        cache.retranslations += retranslated
+        stats.evictions += cache.evictions - evictions_before
+        cache.record_run(hits=hits, misses=misses, chained_branches=chained,
+                         retranslations=retranslated)
