@@ -1,0 +1,36 @@
+"""Static analysis of VXA-32 decoder images.
+
+Public surface:
+
+* :func:`repro.analysis.verify.verify_image` -- one-call static verification
+  returning an :class:`~repro.analysis.verify.AnalysisReport`;
+* :func:`repro.analysis.cfg.recover_cfg` -- CFG recovery on its own;
+* :func:`repro.analysis.absint.analyze` -- the abstract interpreter.
+
+See ``README.md`` in this package for the abstract domains and the
+PROVED_SAFE contract the translator's guard elision relies on.
+"""
+
+from repro.analysis.absint import AnalysisResult, analyze
+from repro.analysis.cfg import ControlFlowGraph, recover_cfg
+from repro.analysis.verify import (
+    VERDICT_GUARD,
+    VERDICT_PROVED,
+    VERDICT_UNSAFE,
+    AnalysisReport,
+    SiteVerdict,
+    verify_image,
+)
+
+__all__ = [
+    "AnalysisReport",
+    "AnalysisResult",
+    "ControlFlowGraph",
+    "SiteVerdict",
+    "VERDICT_GUARD",
+    "VERDICT_PROVED",
+    "VERDICT_UNSAFE",
+    "analyze",
+    "recover_cfg",
+    "verify_image",
+]

@@ -1,0 +1,235 @@
+"""Abstract domains for the VXA-32 static analyser.
+
+The analyser tracks each register (and each provable stack slot) as an
+:class:`AbstractValue` combining three ingredients:
+
+* a **zone** saying what the value is an offset from:
+
+  - ``ZONE_ABS``  -- a plain unsigned 32-bit value,
+  - ``ZONE_SP``   -- the stack pointer the current function had on entry,
+    plus a signed byte delta,
+  - ``ZONE_FP``   -- the frame-pointer *value* the current function received
+    on entry, plus a signed byte delta (used to prove ``preserves_fp``),
+  - ``ZONE_TOP``  -- unknown;
+
+* an **interval** ``[lo, hi]`` over the value (ABS) or the delta (SP/FP);
+* an **alignment** pair ``(align, phase)`` with ``align`` a power of two,
+  meaning ``value % align == phase`` (delta modulo for SP/FP).
+
+Zone-relative tracking is what makes the verifier size-independent: an
+``SP`` access is proved safe from its delta bounds alone, so the same proof
+holds for every sandbox at least ``AnalysisReport.min_size`` bytes large.
+All transfer helpers are total and conservative -- anything they cannot
+represent precisely collapses toward :data:`TOP`, never toward a narrower
+claim.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+U32_MASK = 0xFFFFFFFF
+
+#: Stack/frame deltas beyond this many bytes collapse to TOP.  The clamp
+#: both guarantees widening terminates and bounds how deep a "proved" stack
+#: access can reach, which :mod:`repro.analysis.verify` folds into the
+#: stack-boundedness check.
+DELTA_LIMIT = 1 << 20
+
+#: Largest alignment the domain distinguishes.
+ALIGN_CAP = 16
+
+ZONE_TOP = "top"
+ZONE_ABS = "abs"
+ZONE_SP = "sp"
+ZONE_FP = "fp"
+
+
+def _alignment_of(value: int) -> int:
+    """Largest tracked power of two dividing ``value`` (``value == 0`` -> cap)."""
+    if value == 0:
+        return ALIGN_CAP
+    return min(value & -value, ALIGN_CAP)
+
+
+@dataclass(frozen=True)
+class AbstractValue:
+    """One point in the combined zone/interval/alignment domain."""
+
+    zone: str = ZONE_TOP
+    lo: int = 0
+    hi: int = 0
+    align: int = 1
+    phase: int = 0
+
+    # -- predicates --------------------------------------------------------
+
+    @property
+    def is_top(self) -> bool:
+        return self.zone == ZONE_TOP
+
+    @property
+    def is_exact(self) -> bool:
+        return self.zone != ZONE_TOP and self.lo == self.hi
+
+    # -- transfer helpers --------------------------------------------------
+
+    def add_const(self, c: int) -> "AbstractValue":
+        """Add the signed constant ``c`` (32-bit wrap-around semantics)."""
+        if self.zone == ZONE_TOP:
+            return TOP
+        if self.zone == ZONE_ABS:
+            if self.lo == self.hi:
+                return exact(self.lo + c)
+            lo, hi = self.lo + c, self.hi + c
+            if lo < 0 or hi > U32_MASK:
+                return TOP
+            return AbstractValue(ZONE_ABS, lo, hi, self.align,
+                                 (self.phase + c) % self.align)
+        lo, hi = self.lo + c, self.hi + c
+        if lo < -DELTA_LIMIT or hi > DELTA_LIMIT:
+            return TOP
+        return AbstractValue(self.zone, lo, hi, self.align,
+                             (self.phase + c) % self.align)
+
+    def add(self, other: "AbstractValue") -> "AbstractValue":
+        if other.is_exact and other.zone == ZONE_ABS:
+            return self.add_const(signed32(other.lo))
+        if self.is_exact and self.zone == ZONE_ABS:
+            return other.add_const(signed32(self.lo))
+        if self.zone == ZONE_ABS and other.zone == ZONE_ABS:
+            lo, hi = self.lo + other.lo, self.hi + other.hi
+            if hi > U32_MASK:
+                return TOP
+            g = _join_align(self.align, self.phase + other.phase,
+                            other.align, self.phase + other.phase)
+            return AbstractValue(ZONE_ABS, lo, hi, g,
+                                 (self.phase + other.phase) % g)
+        if self.zone in (ZONE_SP, ZONE_FP) and other.zone == ZONE_ABS:
+            lo, hi = self.lo + other.lo, self.hi + other.hi
+            if lo < -DELTA_LIMIT or hi > DELTA_LIMIT:
+                return TOP
+            g = min(self.align, other.align)
+            return AbstractValue(self.zone, lo, hi, g,
+                                 (self.phase + other.phase) % g)
+        if other.zone in (ZONE_SP, ZONE_FP) and self.zone == ZONE_ABS:
+            return other.add(self)
+        return TOP
+
+    def sub(self, other: "AbstractValue") -> "AbstractValue":
+        if other.is_exact and other.zone == ZONE_ABS:
+            return self.add_const(-signed32(other.lo))
+        if self.zone == ZONE_ABS and other.zone == ZONE_ABS:
+            lo, hi = self.lo - other.hi, self.hi - other.lo
+            if lo < 0:
+                return TOP
+            return AbstractValue(ZONE_ABS, lo, hi, 1, 0)
+        if self.zone in (ZONE_SP, ZONE_FP) and other.zone == ZONE_ABS:
+            lo, hi = self.lo - other.hi, self.hi - other.lo
+            if lo < -DELTA_LIMIT or hi > DELTA_LIMIT:
+                return TOP
+            return AbstractValue(self.zone, lo, hi, 1, 0)
+        if self.zone == other.zone and self.zone in (ZONE_SP, ZONE_FP):
+            lo, hi = self.lo - other.hi, self.hi - other.lo
+            if lo < 0:
+                return TOP
+            return AbstractValue(ZONE_ABS, lo, hi, 1, 0)
+        return TOP
+
+    def band(self, other: "AbstractValue") -> "AbstractValue":
+        """Bitwise AND.  Unsigned AND never exceeds either operand."""
+        if self.is_exact and other.is_exact and \
+                self.zone == ZONE_ABS and other.zone == ZONE_ABS:
+            return exact(self.lo & other.lo)
+        bounds = [v.hi for v in (self, other) if v.zone == ZONE_ABS]
+        if not bounds:
+            return TOP
+        return AbstractValue(ZONE_ABS, 0, min(bounds), 1, 0)
+
+    def shl_const(self, count: int) -> "AbstractValue":
+        count &= 31
+        if count == 0:
+            return self
+        if self.zone != ZONE_ABS:
+            return TOP
+        if self.lo == self.hi:
+            return exact((self.lo << count) & U32_MASK)
+        hi = self.hi << count
+        if hi > U32_MASK:
+            return TOP
+        align = min(self.align << count, ALIGN_CAP)
+        return AbstractValue(ZONE_ABS, self.lo << count, hi, align,
+                             (self.phase << count) % align)
+
+    def shru_const(self, count: int) -> "AbstractValue":
+        count &= 31
+        if count == 0:
+            return self
+        if self.zone == ZONE_ABS:
+            return AbstractValue(ZONE_ABS, self.lo >> count, self.hi >> count, 1, 0)
+        # Any 32-bit value shifted right by a nonzero count is bounded.
+        return AbstractValue(ZONE_ABS, 0, U32_MASK >> count, 1, 0)
+
+    # -- lattice operations ------------------------------------------------
+
+    def join(self, other: "AbstractValue") -> "AbstractValue":
+        if self == other:
+            return self
+        if self.zone != other.zone or ZONE_TOP in (self.zone, other.zone):
+            return TOP
+        g = _join_align(self.align, self.phase, other.align, other.phase)
+        return AbstractValue(self.zone, min(self.lo, other.lo),
+                             max(self.hi, other.hi), g, self.phase % g)
+
+    def widen(self, newer: "AbstractValue") -> "AbstractValue":
+        """Widening: blow any unstable interval bound out to the zone limit."""
+        joined = self.join(newer)
+        if joined.zone == ZONE_TOP:
+            return TOP
+        lo, hi = joined.lo, joined.hi
+        if newer.lo < self.lo:
+            lo = 0 if joined.zone == ZONE_ABS else -DELTA_LIMIT
+        if newer.hi > self.hi:
+            hi = U32_MASK if joined.zone == ZONE_ABS else DELTA_LIMIT
+        return AbstractValue(joined.zone, lo, hi, joined.align, joined.phase)
+
+
+def signed32(value: int) -> int:
+    value &= U32_MASK
+    return value - 0x100000000 if value >= 0x80000000 else value
+
+
+def _join_align(a1: int, p1: int, a2: int, p2: int) -> int:
+    """Largest power of two ``g <= min(a1, a2)`` with ``p1 == p2 (mod g)``."""
+    g = min(a1, a2)
+    while g > 1 and (p1 - p2) % g:
+        g >>= 1
+    return g
+
+
+#: The unique top element.
+TOP = AbstractValue()
+
+
+def exact(value: int) -> AbstractValue:
+    value &= U32_MASK
+    align = _alignment_of(value)
+    return AbstractValue(ZONE_ABS, value, value, align, value % align)
+
+
+def interval(lo: int, hi: int, align: int = 1, phase: int = 0) -> AbstractValue:
+    lo = max(lo, 0)
+    hi = min(hi, U32_MASK)
+    if lo > hi:
+        return TOP
+    return AbstractValue(ZONE_ABS, lo, hi, align, phase % align)
+
+
+def sp_entry() -> AbstractValue:
+    """The stack pointer as the current function received it."""
+    return AbstractValue(ZONE_SP, 0, 0, 1, 0)
+
+
+def fp_entry() -> AbstractValue:
+    """The frame-pointer value the current function received on entry."""
+    return AbstractValue(ZONE_FP, 0, 0, 1, 0)

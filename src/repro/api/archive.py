@@ -173,6 +173,8 @@ class Archive:
             superblock_limit=self.options.superblock_limit,
             chain_fragments=self.options.chain_fragments,
             code_cache_limit=self.options.code_cache_limit,
+            verify_images=self.options.verify_images,
+            analysis_elision=self.options.analysis_elision,
         )
         self._closed = False
 
@@ -382,6 +384,8 @@ class Archive:
             superblock_limit=self.options.superblock_limit,
             chain_fragments=self.options.chain_fragments,
             code_cache_limit=self.options.code_cache_limit,
+            verify_images=self.options.verify_images,
+            analysis_elision=self.options.analysis_elision,
         )
         entries = (self._zip.entries if names is None
                    else [self._zip.find(name) for name in names])

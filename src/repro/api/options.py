@@ -65,6 +65,13 @@ class ReadOptions:
             session-shared code cache, so long-lived services (``vxserve``)
             cannot grow translation state without bound; evictions are
             surfaced next to the hit/chain/retranslation counters.
+        verify_images: static-analysis admission policy for archived
+            decoder images -- ``"off"`` (default), ``"warn"`` (analyse and
+            warn on unsafe images) or ``"reject"`` (refuse to run an image
+            the verifier cannot prove safe; see :mod:`repro.analysis`).
+        analysis_elision: let the translator drop bounds guards at sites
+            the static verifier proved safe (disable only for the elision
+            ablation; ignored by the interpreter engine).
     """
 
     mode: str = MODE_AUTO
@@ -79,6 +86,8 @@ class ReadOptions:
     jobs: int = 1
     executor: str = EXECUTOR_AUTO
     code_cache_limit: int | None = None
+    verify_images: str = "off"
+    analysis_elision: bool = True
 
     def __post_init__(self):
         if self.mode not in _MODES:
@@ -97,6 +106,8 @@ class ReadOptions:
             raise ValueError(f"unknown executor {self.executor!r}")
         if self.code_cache_limit is not None and self.code_cache_limit < 1:
             raise ValueError("code_cache_limit must be at least 1")
+        if self.verify_images not in ("off", "warn", "reject"):
+            raise ValueError(f"unknown verify_images mode {self.verify_images!r}")
 
     def with_changes(self, **changes) -> "ReadOptions":
         """A copy of these options with some fields replaced."""

@@ -51,6 +51,8 @@ class SessionStats:
     chained_branches: int = 0       # transitions over back-patched edges
     retranslations: int = 0         # translations of an already-seen entry
     evictions: int = 0              # fragments dropped by the LRU entry cap
+    guards_elided: int = 0          # bounds guards dropped on static proofs
+    images_verified: int = 0        # decoder images statically analysed
 
     def merge(self, other: "SessionStats") -> None:
         """Accumulate another session's counters (per-worker stats roll-up)."""
@@ -84,6 +86,10 @@ class DecoderSession:
             session-shared :class:`~repro.vm.code_cache.CodeCache`, so a
             long-running service cannot grow translation state without
             bound (``None`` -> unbounded; safe for single archives).
+        verify_images: static-analysis admission policy applied to every
+            decoder image before it runs (``"off"``/``"warn"``/``"reject"``).
+        analysis_elision: let the translator drop statically proved bounds
+            guards (ablation flag).
     """
 
     def __init__(
@@ -96,6 +102,8 @@ class DecoderSession:
         superblock_limit: int | None = None,
         chain_fragments: bool = True,
         code_cache_limit: int | None = None,
+        verify_images: str = "off",
+        analysis_elision: bool = True,
     ):
         self._load_image = load_image
         self.policy = policy
@@ -104,6 +112,8 @@ class DecoderSession:
         self._superblock_limit = superblock_limit
         self._chain_fragments = chain_fragments
         self._code_cache_limit = code_cache_limit
+        self._verify_images = verify_images
+        self._analysis_elision = analysis_elision
         self._vms: dict[int, VirtualMachine] = {}
         self._code_caches: dict[int, CodeCache] = {}
         self._last_attributes: dict[int, SecurityAttributes] = {}
@@ -167,8 +177,12 @@ class DecoderSession:
                 code_cache=self._code_cache_for(decoder_offset),
                 superblock_limit=self._superblock_limit,
                 chain_fragments=self._chain_fragments,
+                verify_images=self._verify_images,
+                analysis_elision=self._analysis_elision,
             )
             self._vms[decoder_offset] = vm
+            if vm.analysis_report is not None:
+                self.stats.images_verified += 1
             # Constructing the VM loads a pristine image, so the first decode
             # never needs another reset regardless of policy.
             fresh = False
@@ -193,6 +207,7 @@ class DecoderSession:
         self.stats.chained_branches += run.chained_branches
         self.stats.retranslations += run.retranslations
         self.stats.evictions += run.evictions
+        self.stats.guards_elided += run.guards_elided
         return result
 
     # -- lifecycle -------------------------------------------------------------

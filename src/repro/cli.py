@@ -38,6 +38,8 @@ def _read_options(args) -> vxa.ReadOptions:
         force_decode=getattr(args, "force_decode", False),
         reuse=reuse,
         jobs=max(1, getattr(args, "jobs", 1) or 1),
+        verify_images=getattr(args, "verify_images", "off"),
+        analysis_elision=not getattr(args, "no_guard_elision", False),
     )
 
 
@@ -92,7 +94,51 @@ def _cmd_extract(args) -> int:
                 f"{stats.retranslations} retranslation(s), "
                 f"{stats.evictions} eviction(s)"
             )
+            print(
+                f"static analysis: {stats.images_verified} image(s) analysed, "
+                f"{stats.guards_elided} bounds guard(s) elided"
+            )
     return 0
+
+
+def _cmd_analyze(args) -> int:
+    from repro.analysis import verify_image
+
+    failed = 0
+    with vxa.open(args.archive) as archive:
+        decoders: dict[int, tuple[str, list[str]]] = {}
+        for entry in archive.entries():
+            extension = archive.extension_for(entry.name)
+            if extension is None:
+                continue
+            codec, members = decoders.setdefault(
+                extension.decoder_offset, (extension.codec_name, []))
+            members.append(entry.name)
+        if not decoders:
+            print("no archived decoders to analyse")
+            return 0
+        for offset, (codec, members) in sorted(decoders.items()):
+            image = archive.decoder_image_for(members[0])
+            report = verify_image(image)
+            counts = report.counts()
+            status = "SAFE" if report.ok else "UNSAFE"
+            print(f"decoder {codec} @0x{offset:x} "
+                  f"({len(members)} member(s)): {status}")
+            print(f"  sites: {counts['proved']} proved, "
+                  f"{counts['guard']} guarded, {counts['unsafe']} unsafe; "
+                  f"{len(report.proved_reads)} read / "
+                  f"{len(report.proved_writes)} write guard(s) elidable")
+            stack = (f"stack bounded at {report.total_down} byte(s)"
+                     if report.stack_bounded
+                     else "stack depth not statically bounded")
+            print(f"  {stack}; proofs valid for sandboxes >= "
+                  f"{report.min_size} bytes")
+            for site in report.unsafe_sites[:8]:
+                detail = f" ({site.detail})" if site.detail else ""
+                print(f"  unsafe @0x{site.pc:x}: {site.kind}{detail}")
+            if not report.ok:
+                failed += 1
+    return 1 if failed else 0
 
 
 def _cmd_check(args) -> int:
@@ -123,6 +169,13 @@ def _add_reading_commands(commands) -> None:
     extract.add_argument("-j", "--jobs", type=int, default=1,
                          help="extract with N parallel workers, sharding "
                               "members by decoder image (default: 1, serial)")
+    extract.add_argument("--verify-images", default="off",
+                         choices=["off", "warn", "reject"],
+                         help="statically verify archived decoder images "
+                              "before running them")
+    extract.add_argument("--no-guard-elision", action="store_true",
+                         help="keep every dynamic bounds guard even at "
+                              "statically proved sites (ablation)")
     extract.set_defaults(handler=_cmd_extract)
 
     check = commands.add_parser("check", help="verify the archive with its own decoders")
@@ -133,7 +186,20 @@ def _add_reading_commands(commands) -> None:
     check.add_argument("-j", "--jobs", type=int, default=1,
                        help="check with N parallel workers, sharding "
                             "members by decoder image (default: 1, serial)")
+    check.add_argument("--verify-images", default="off",
+                       choices=["off", "warn", "reject"],
+                       help="statically verify archived decoder images "
+                            "before running them")
+    check.add_argument("--no-guard-elision", action="store_true",
+                       help="keep every dynamic bounds guard even at "
+                            "statically proved sites (ablation)")
     check.set_defaults(handler=_cmd_check)
+
+    analyze = commands.add_parser(
+        "analyze",
+        help="statically verify the archived decoder images without running them")
+    analyze.add_argument("archive")
+    analyze.set_defaults(handler=_cmd_analyze)
 
 
 def build_parser() -> argparse.ArgumentParser:

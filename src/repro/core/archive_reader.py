@@ -62,7 +62,8 @@ class IntegrityReport:
     #: :meth:`add_counters` so a counter added here propagates everywhere.
     COUNTER_FIELDS = ("vm_initialisations", "vm_reuses",
                       "fragments_translated", "cache_hits",
-                      "chained_branches", "retranslations", "evictions")
+                      "chained_branches", "retranslations", "evictions",
+                      "guards_elided", "images_verified")
 
     checked: int = 0
     passed: int = 0
@@ -74,6 +75,8 @@ class IntegrityReport:
     chained_branches: int = 0
     retranslations: int = 0
     evictions: int = 0
+    guards_elided: int = 0
+    images_verified: int = 0
 
     @property
     def ok(self) -> bool:

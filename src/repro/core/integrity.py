@@ -57,6 +57,11 @@ def format_report(report: IntegrityReport) -> str:
             f"{report.retranslations} retranslation(s), "
             f"{report.evictions} eviction(s)"
         )
+    if report.images_verified or report.guards_elided:
+        lines.append(
+            f"static analysis : {report.images_verified} image(s) analysed, "
+            f"{report.guards_elided} bounds guard(s) elided"
+        )
     if report.failures:
         lines.append("failures:")
         lines.extend(f"  - {failure}" for failure in report.failures)

@@ -19,7 +19,18 @@ class VxaError(Exception):
 # --------------------------------------------------------------------------
 
 class InvalidInstructionError(VxaError):
-    """An instruction could not be encoded or decoded."""
+    """An instruction could not be encoded or decoded.
+
+    Decode failures carry the instruction offset and a machine-readable
+    reason so static analysis (:mod:`repro.analysis`) can pinpoint
+    ill-formed code in its report instead of parsing exception text.
+    """
+
+    def __init__(self, message: str, *, offset: int | None = None,
+                 reason: str | None = None):
+        super().__init__(message)
+        self.offset = offset
+        self.reason = reason or "invalid"
 
 
 class AssemblerError(VxaError):
@@ -120,6 +131,16 @@ class ArchiveError(VxaError):
 
 class IntegrityError(ArchiveError):
     """An archive integrity check failed (CRC mismatch or decode failure)."""
+
+
+class ImageVerificationError(ArchiveError):
+    """A decoder image failed static verification under ``verify_images="reject"``.
+
+    Raised *before* any VM runs the image, so a hostile or malformed decoder
+    is refused at admission rather than merely contained at runtime.  Derives
+    from :class:`ArchiveError` so integrity checks record the refusal as an
+    ordinary member failure.
+    """
 
 
 class DecoderMissingError(ArchiveError):

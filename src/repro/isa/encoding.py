@@ -119,46 +119,63 @@ def decode(code: bytes, offset: int = 0) -> Instruction:
         InvalidInstructionError: if the bytes do not form a valid instruction.
     """
     if offset >= len(code):
-        raise InvalidInstructionError(f"decode past end of code at offset {offset}")
+        raise InvalidInstructionError(
+            f"decode past end of code at offset {offset}",
+            offset=offset, reason="past-end",
+        )
     opbyte = code[offset]
     try:
         op = Op(opbyte)
     except ValueError:
         raise InvalidInstructionError(
-            f"illegal opcode byte 0x{opbyte:02x} at offset {offset}"
+            f"illegal opcode byte 0x{opbyte:02x} at offset {offset}",
+            offset=offset, reason="illegal-opcode",
         ) from None
     info = OPCODES[op]
     fmt = info.fmt
     length = instruction_length(op)
     if offset + length > len(code):
         raise InvalidInstructionError(
-            f"truncated instruction {info.mnemonic} at offset {offset}"
+            f"truncated instruction {info.mnemonic} at offset {offset}",
+            offset=offset, reason="truncated",
         )
-    if fmt is Fmt.NONE:
-        return Instruction(op, length=1)
-    if fmt is Fmt.REG:
-        reg = code[offset + 1]
-        _check_reg(reg)
-        return Instruction(op, rd=reg, length=2)
-    if fmt is Fmt.REG_REG:
+    try:
+        if fmt is Fmt.NONE:
+            return Instruction(op, length=1)
+        if fmt is Fmt.REG:
+            reg = code[offset + 1]
+            _check_reg(reg)
+            return Instruction(op, rd=reg, length=2)
+        if fmt is Fmt.REG_REG:
+            packed = code[offset + 1]
+            rd, rs = packed >> 4, packed & 0x0F
+            _check_reg(rd)
+            _check_reg(rs)
+            return Instruction(op, rd=rd, rs=rs, length=2)
+    except InvalidInstructionError as error:
+        raise InvalidInstructionError(
+            f"{error} (instruction {info.mnemonic} at offset {offset})",
+            offset=offset, reason="bad-register",
+        ) from None
+    if fmt is Fmt.REL:
+        imm = _signed32(_U32.unpack_from(code, offset + 1)[0])
+        return Instruction(op, imm=imm, length=5)
+    try:
+        if fmt is Fmt.REG_IMM:
+            reg = code[offset + 1]
+            _check_reg(reg)
+            imm = _U32.unpack_from(code, offset + 2)[0]
+            return Instruction(op, rd=reg, imm=imm, length=6)
+        # REG_REG_IMM
         packed = code[offset + 1]
         rd, rs = packed >> 4, packed & 0x0F
         _check_reg(rd)
         _check_reg(rs)
-        return Instruction(op, rd=rd, rs=rs, length=2)
-    if fmt is Fmt.REL:
-        imm = _signed32(_U32.unpack_from(code, offset + 1)[0])
-        return Instruction(op, imm=imm, length=5)
-    if fmt is Fmt.REG_IMM:
-        reg = code[offset + 1]
-        _check_reg(reg)
-        imm = _U32.unpack_from(code, offset + 2)[0]
-        return Instruction(op, rd=reg, imm=imm, length=6)
-    # REG_REG_IMM
-    packed = code[offset + 1]
-    rd, rs = packed >> 4, packed & 0x0F
-    _check_reg(rd)
-    _check_reg(rs)
+    except InvalidInstructionError as error:
+        raise InvalidInstructionError(
+            f"{error} (instruction {info.mnemonic} at offset {offset})",
+            offset=offset, reason="bad-register",
+        ) from None
     imm = _U32.unpack_from(code, offset + 2)[0]
     return Instruction(op, rd=rd, rs=rs, imm=imm, length=6)
 

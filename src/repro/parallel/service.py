@@ -53,7 +53,8 @@ DEFAULT_CODE_CACHE_LIMIT = 4096
 
 #: ReadOptions fields a request may override per call.
 _OPTION_FIELDS = ("mode", "force_decode", "engine", "superblock_limit",
-                  "chain_fragments", "chunk_size", "code_cache_limit")
+                  "chain_fragments", "chunk_size", "code_cache_limit",
+                  "verify_images", "analysis_elision")
 
 
 class BatchService:

@@ -69,7 +69,8 @@ def _options_key(options):
     return (options.mode, options.force_decode, options.engine,
             repr(options.limits), options.reuse.value, options.chunk_size,
             options.superblock_limit, options.chain_fragments,
-            options.code_cache_limit, registry_key)
+            options.code_cache_limit, options.verify_images,
+            options.analysis_elision, registry_key)
 
 
 def _acquire_archive(source: dict, options):

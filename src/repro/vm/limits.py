@@ -76,6 +76,7 @@ class ExecutionStats:
     chained_branches: int = 0       # transitions over back-patched direct edges
     retranslations: int = 0         # translations of an already-seen entry
     evictions: int = 0              # fragments dropped by the LRU entry cap
+    guards_elided: int = 0          # bounds guards dropped on static proofs
     syscalls: dict[str, int] = field(default_factory=dict)
     bytes_read: int = 0
     bytes_written: int = 0
@@ -94,6 +95,7 @@ class ExecutionStats:
         self.chained_branches += other.chained_branches
         self.retranslations += other.retranslations
         self.evictions += other.evictions
+        self.guards_elided += other.guards_elided
         self.bytes_read += other.bytes_read
         self.bytes_written += other.bytes_written
         self.streams_decoded += other.streams_decoded

@@ -12,14 +12,15 @@ from dataclasses import dataclass
 
 from repro.elf.reader import parse_executable
 from repro.elf.structures import ElfImage
-from repro.errors import ElfFormatError
+from repro.errors import ElfFormatError, ImageVerificationError
 from repro.vm.memory import DEFAULT_MEMORY_SIZE, GuestMemory
 
 #: Bytes reserved at the top of the sandbox for the guest stack.
 DEFAULT_STACK_SIZE = 256 << 10
 
 #: Extra headroom above the image before the heap would hit the stack.
-_HEAP_HEADROOM = 64 << 10
+HEAP_HEADROOM = 64 << 10
+_HEAP_HEADROOM = HEAP_HEADROOM  # backwards-compatible alias
 
 
 @dataclass
@@ -31,6 +32,50 @@ class LoadedProgram:
     brk: int                       # first free address after the image (heap start)
     text_start: int
     text_end: int
+
+
+def admit_image(image: ElfImage | bytes, mode: str = "off", *, report=None):
+    """Run the static-analysis admission policy over ``image``.
+
+    Args:
+        image: raw ELF bytes or a parsed :class:`ElfImage`.
+        mode: ``"off"`` (return ``None`` without analysing), ``"warn"``
+            (analyse, emit a :class:`UserWarning` for unsafe images) or
+            ``"reject"`` (raise :class:`ImageVerificationError` before any
+            VM runs the image).
+        report: a previously computed
+            :class:`~repro.analysis.verify.AnalysisReport` for this very
+            image (e.g. from a session-shared code cache); passing it skips
+            re-analysis but still applies the admission decision.
+
+    Returns:
+        The :class:`repro.analysis.verify.AnalysisReport`, or ``None`` when
+        ``mode`` is ``"off"``.
+    """
+    if mode == "off":
+        return report
+    if mode not in ("warn", "reject"):
+        raise ValueError(f"unknown verify_images mode: {mode!r}")
+    if report is None:
+        from repro.analysis.verify import verify_image
+
+        report = verify_image(image)
+    if not report.ok:
+        problems = report.unsafe_sites
+        summary = "; ".join(
+            f"0x{site.pc:x}: {site.kind} {site.detail or site.verdict}"
+            for site in problems[:4]
+        )
+        message = (
+            f"decoder image failed static verification "
+            f"({len(problems)} unsafe site(s): {summary})"
+        )
+        if mode == "reject":
+            raise ImageVerificationError(message)
+        import warnings
+
+        warnings.warn(message, UserWarning, stacklevel=2)
+    return report
 
 
 def load_image(

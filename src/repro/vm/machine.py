@@ -10,15 +10,14 @@ reuse-vs-reinitialise policy for decoding several streams with one decoder
 
 from __future__ import annotations
 
-import io
 from dataclasses import dataclass
 
 from repro.elf.reader import parse_executable
-from repro.errors import GuestFault, VxaError
+from repro.errors import VxaError
 from repro.vm.code_cache import CodeCache
 from repro.vm.interpreter import run_interpreter
 from repro.vm.limits import ExecutionLimits, ExecutionStats
-from repro.vm.loader import load_image
+from repro.vm.loader import admit_image, load_image
 from repro.vm.memory import CHECK_FULL, DEFAULT_MEMORY_SIZE, GuestMemory
 from repro.vm.syscalls import StreamSet, SyscallHandler
 from repro.vm.translator import run_translator
@@ -66,6 +65,13 @@ class VirtualMachine:
         chain_fragments: back-patch direct-branch successors so the
             dispatcher's hash lookup is only paid on indirect branches
             (disable only for the chaining ablation).
+        verify_images: static-analysis admission policy -- ``"off"``
+            (default), ``"warn"`` or ``"reject"``.  ``"reject"`` raises
+            :class:`~repro.errors.ImageVerificationError` from the
+            constructor, before the image ever executes.
+        analysis_elision: let the translator drop bounds guards at sites
+            the static verifier proved safe (see
+            :mod:`repro.analysis`); disable only for the elision ablation.
     """
 
     def __init__(
@@ -80,6 +86,8 @@ class VirtualMachine:
         code_cache: CodeCache | None = None,
         superblock_limit: int | None = None,
         chain_fragments: bool = True,
+        verify_images: str = "off",
+        analysis_elision: bool = True,
     ):
         if engine not in _ENGINES:
             raise ValueError(f"unknown engine {engine!r}")
@@ -94,6 +102,8 @@ class VirtualMachine:
         self.code_cache = code_cache if code_cache is not None else CodeCache()
         self.superblock_limit = superblock_limit
         self.chain_fragments = chain_fragments
+        self.analysis_elision = analysis_elision
+        self.analysis_report = self._admit(verify_images)
 
         # Mutable machine state, populated by reset().
         self.memory: GuestMemory | None = None
@@ -109,6 +119,32 @@ class VirtualMachine:
         self.reset()
 
     # -- lifecycle -----------------------------------------------------------
+
+    def _admit(self, verify_images: str):
+        """Apply the static-analysis admission policy and return the report.
+
+        In ``warn``/``reject`` modes failures surface exactly as
+        :func:`repro.vm.loader.admit_image` specifies.  With verification
+        off, analysis still runs opportunistically when the translator could
+        use its proofs -- but purely as an optimisation, so any analysis
+        failure is swallowed and simply leaves every dynamic guard in place.
+        A session-shared code cache carries the report across VMs of the
+        same image, so each decoder is analysed at most once per session.
+        """
+        report = self.code_cache.analysis
+        if verify_images != "off":
+            report = admit_image(self._image, verify_images, report=report)
+        elif (report is None and self.analysis_elision
+              and self.engine == ENGINE_TRANSLATOR):
+            try:
+                from repro.analysis.verify import verify_image
+
+                report = verify_image(self._image)
+            except Exception:
+                report = None
+        if report is not None:
+            self.code_cache.set_analysis(report)
+        return report
 
     def reset(self) -> None:
         """Re-initialise the VM with a pristine copy of the decoder image.

@@ -205,11 +205,19 @@ class Translator:
         chain: emit back-patchable exits for statically known successors.
             Disabled together with the fragment cache, since a chained exit
             is itself a cached translation.
+        proved_reads, proved_writes: instruction addresses whose memory
+            access the static verifier (:mod:`repro.analysis`) proved in
+            bounds for every sandbox of at least the report's ``min_size``
+            bytes; their guards are dropped.  The caller is responsible for
+            checking ``min_size`` against the live sandbox before passing
+            these in.
     """
 
     def __init__(self, memory, text_start: int, text_end: int, *,
                  superblock_limit: int | None = None, chain: bool = True,
-                 known_entries=None):
+                 known_entries=None,
+                 proved_reads: frozenset = frozenset(),
+                 proved_writes: frozenset = frozenset()):
         self._memory = memory
         self._text_start = text_start
         self._text_end = text_end
@@ -222,6 +230,11 @@ class Translator:
         self._known_entries = known_entries if known_entries is not None else set()
         self._check_reads = memory.check_policy == CHECK_FULL
         self._check_writes = memory.check_policy in (CHECK_FULL, CHECK_WRITE_ONLY)
+        self._proved_reads = proved_reads
+        self._proved_writes = proved_writes
+        #: Bounds guards dropped on static-analysis evidence (cumulative
+        #: across every trace this translator builds).
+        self.guards_elided = 0
 
     # -- trace construction ---------------------------------------------------
 
@@ -311,8 +324,19 @@ class Translator:
                 return [f"{var} = r{base} + {disp}"], var
             return [f"{var} = r{base} + {disp} & {_MASK}"], var
 
+        proved_reads = self._proved_reads
+        proved_writes = self._proved_writes
+
         def guard(var: str, width: int, kind: str) -> list[str]:
             if guarded.get(var, 0) >= width:
+                return []        # already covered by a wider check (CSE)
+            if pc in (proved_writes if kind == "write" else proved_reads):
+                # The verifier proved this site in bounds for any sandbox at
+                # least min_size bytes large (checked by our caller).  The
+                # elided site is deliberately NOT entered in ``guarded``: a
+                # later unproved access through the same local must still
+                # emit its own check.
+                self.guards_elided += 1
                 return []
             guarded[var] = width
             guards.add(width)
@@ -763,13 +787,23 @@ def run_translator(vm) -> None:
         budget = float("inf")
     vm.budget = budget
     max_fragments = limits.max_fragments
+    # Analysis-driven guard elision: only with a clean report whose proofs
+    # cover the live sandbox (memory growth is monotone, so the size check
+    # cannot be invalidated mid-run).
+    proved_reads: frozenset = frozenset()
+    proved_writes: frozenset = frozenset()
+    report = getattr(vm, "analysis_report", None)
+    if (getattr(vm, "analysis_elision", False) and report is not None
+            and report.ok and memory.size >= report.min_size):
+        proved_reads = report.proved_reads
+        proved_writes = report.proved_writes
     translator = Translator(
         memory, vm.text_start, vm.text_end,
         superblock_limit=vm.superblock_limit, chain=chain,
         known_entries=cache.known if use_cache else None,
+        proved_reads=proved_reads, proved_writes=proved_writes,
     )
     fragments = cache.fragments
-    known = cache.known
     lru_capped = cache.limit is not None
     evictions_before = cache.evictions
     buf = memory.buffer
@@ -800,10 +834,8 @@ def run_translator(vm) -> None:
             )
         fragment = translator.translate(target)
         misses += 1
-        if target in known:
+        if cache.note_translation(target):
             retranslated += 1
-        else:
-            known.add(target)
         if use_cache:
             cache.store(target, fragment)
         return fragment
@@ -876,6 +908,7 @@ def run_translator(vm) -> None:
         stats.fragment_cache_hits += hits
         stats.chained_branches += chained
         stats.retranslations += retranslated
+        stats.guards_elided += translator.guards_elided
         stats.evictions += cache.evictions - evictions_before
         cache.record_run(hits=hits, misses=misses, chained_branches=chained,
                          retranslations=retranslated)

@@ -1,0 +1,338 @@
+"""The static verifier: bundled decoders prove safe, hostile images don't.
+
+Covers the acceptance criteria of the ``repro.analysis`` subsystem:
+
+* every bundled guest decoder image verifies ``safe`` with zero unsafe
+  sites and a non-trivial set of proved (guard-elidable) accesses;
+* ``disassemble_for_reassembly`` round-trips every bundled image through
+  the assembler byte-exactly (the CFG walker reads what really runs);
+* hand-assembled hostile images (out-of-bounds store, jump into an
+  instruction's interior, forbidden syscall number) are classified unsafe
+  and refused by ``verify_images="reject"`` -- at the VM layer and for a
+  whole archive carrying the hostile decoder;
+* reports serialise (``as_dict``/``from_dict``, JSON-stable);
+* the translator actually elides guards and decodes identically with and
+  without elision.
+"""
+
+import io
+import json
+import warnings
+
+import pytest
+
+from repro.analysis import VERDICT_UNSAFE, AnalysisReport, verify_image
+from repro.api import Archive, ArchiveBuilder, MODE_VXA, ReadOptions, WriteOptions
+from repro.codecs.registry import CodecRegistry
+from repro.codecs.vxz import VxzCodec
+from repro.elf.structures import ElfImage
+from repro.errors import ImageVerificationError
+from repro.isa.assembler import assemble
+from repro.isa.disassembler import disassemble_for_reassembly
+from repro.vm.loader import admit_image
+from repro.vm.machine import VirtualMachine
+from repro.workloads.text import synthetic_source_tree_bytes
+from tests.conftest import build_asm
+
+
+def _bundled_codecs():
+    from repro.codecs.registry import default_registry
+
+    return list(default_registry())
+
+
+@pytest.fixture(scope="module")
+def bundled_reports():
+    return {codec.info.name: verify_image(codec.guest_decoder_image())
+            for codec in _bundled_codecs()}
+
+
+# -- the six bundled decoders prove safe ------------------------------------------
+
+
+def test_all_bundled_decoders_verify_safe(bundled_reports):
+    assert set(bundled_reports) == {"vxz", "vxbwt", "vximg", "vxjp2",
+                                    "vxflac", "vxsnd"}
+    for name, report in bundled_reports.items():
+        assert report.ok, (name, report.unsafe_sites)
+        assert report.unsafe_sites == []
+        assert report.stack_bounded, name
+        assert 0 < report.total_down < report.min_size
+
+
+def test_bundled_decoders_have_elidable_guards(bundled_reports):
+    for name, report in bundled_reports.items():
+        counts = report.counts()
+        assert counts["proved"] > 100, (name, counts)
+        assert len(report.proved_reads) > 50, name
+        assert len(report.proved_writes) > 50, name
+        # Not everything is provable: indirect branches at least stay dynamic.
+        assert counts["guard"] > 0, name
+
+
+def test_admission_accepts_bundled_decoders():
+    for codec in _bundled_codecs():
+        report = admit_image(codec.guest_decoder_image(), "reject")
+        assert report is not None and report.ok
+
+
+# -- disassemble -> reassemble round-trip -----------------------------------------
+
+
+@pytest.mark.parametrize("name", ["vxz", "vxbwt", "vximg", "vxjp2",
+                                  "vxflac", "vxsnd"])
+def test_disassembly_round_trips_bundled_decoder(name):
+    from repro.codecs.registry import default_registry
+    from repro.elf.reader import parse_executable
+
+    image = parse_executable(default_registry().get(name).guest_decoder_image())
+    for segment in image.segments:
+        if not segment.executable:
+            continue
+        source, scan_result = disassemble_for_reassembly(
+            segment.data, base=segment.vaddr)
+        assert scan_result.ok, scan_result.errors[:3]
+        program = assemble(source, text_base=segment.vaddr)
+        assert program.text == segment.data
+
+
+# -- hostile images ----------------------------------------------------------------
+
+
+@pytest.fixture(scope="module")
+def hostile_images():
+    return {
+        "oob_store": build_asm("""
+            _start:
+                movi r1, 0x7fffff00
+                st32 [r1+0], r0
+                movi r0, 0
+                vxcall
+        """),
+        "mid_insn_jump": build_asm("""
+            _start:
+                cmpi r0, 0
+                je 0x100d
+                movi r1, 0x11223344
+                halt
+        """),
+        "bad_syscall": build_asm("""
+            _start:
+                movi r0, 99
+                vxcall
+                halt
+        """),
+    }
+
+
+@pytest.mark.parametrize("fixture,kind", [
+    ("oob_store", "write"),
+    ("mid_insn_jump", "code"),
+    ("bad_syscall", "syscall"),
+])
+def test_hostile_image_is_classified_unsafe(hostile_images, fixture, kind):
+    report = verify_image(hostile_images[fixture])
+    assert not report.ok
+    assert any(site.kind == kind for site in report.unsafe_sites), \
+        report.unsafe_sites
+
+
+def test_reject_mode_refuses_hostile_images(hostile_images):
+    for image in hostile_images.values():
+        with pytest.raises(ImageVerificationError):
+            admit_image(image, "reject")
+        with pytest.raises(ImageVerificationError):
+            VirtualMachine(image, verify_images="reject")
+
+
+def test_warn_mode_warns_but_constructs(hostile_images):
+    with pytest.warns(UserWarning, match="failed static verification"):
+        vm = VirtualMachine(hostile_images["bad_syscall"], verify_images="warn")
+    assert vm.analysis_report is not None
+    assert not vm.analysis_report.ok
+
+
+def test_off_mode_never_raises_on_hostile_images(hostile_images):
+    with warnings.catch_warnings():
+        warnings.simplefilter("error")
+        vm = VirtualMachine(hostile_images["oob_store"])
+    # Opportunistic analysis may attach a report, but elision never uses a
+    # failed one (report.ok gates it in run_translator).
+    if vm.analysis_report is not None:
+        assert not vm.analysis_report.ok
+
+
+def test_invalid_mode_rejected(hostile_images):
+    with pytest.raises(ValueError):
+        admit_image(hostile_images["oob_store"], "paranoid")
+    with pytest.raises(ValueError):
+        ReadOptions(verify_images="paranoid")
+
+
+# -- a hostile archive is refused end to end --------------------------------------
+
+
+class _HostileVxz(VxzCodec):
+    """vxz with its guest decoder swapped for a hostile image."""
+
+    hostile_image: bytes = b""
+
+    def guest_decoder_image(self) -> bytes:
+        return type(self).hostile_image
+
+
+def _hostile_archive(hostile_images) -> bytes:
+    _HostileVxz.hostile_image = hostile_images["oob_store"]
+    registry = CodecRegistry([_HostileVxz()], default="vxz")
+    buffer = io.BytesIO()
+    with ArchiveBuilder(buffer, WriteOptions(registry=registry)) as builder:
+        builder.add("evil.txt", synthetic_source_tree_bytes(4000, seed=11))
+        builder.finish()
+    return buffer.getvalue()
+
+
+def test_reject_mode_refuses_hostile_archive(hostile_images):
+    payload = _hostile_archive(hostile_images)
+    options = ReadOptions(mode=MODE_VXA, verify_images="reject")
+    with Archive(io.BytesIO(payload), options) as archive:
+        with pytest.raises(ImageVerificationError):
+            archive.extract("evil.txt")
+
+
+def test_check_records_hostile_decoder_as_failure(hostile_images):
+    payload = _hostile_archive(hostile_images)
+    options = ReadOptions(mode=MODE_VXA, verify_images="reject")
+    with Archive(io.BytesIO(payload), options) as archive:
+        report = archive.check()
+    assert not report.ok
+    assert report.failures
+    assert "static verification" in report.failures[0]
+
+
+# -- report serialisation -----------------------------------------------------------
+
+
+def test_report_round_trips_through_dict(bundled_reports):
+    report = bundled_reports["vxz"]
+    payload = json.loads(json.dumps(report.as_dict()))
+    restored = AnalysisReport.from_dict(payload)
+    assert restored.verdict == report.verdict
+    assert restored.min_size == report.min_size
+    assert restored.proved_reads == report.proved_reads
+    assert restored.proved_writes == report.proved_writes
+    assert restored.sites == report.sites
+    assert restored.counts() == report.counts()
+
+
+def test_unsafe_report_serialises_errors(hostile_images):
+    report = verify_image(hostile_images["mid_insn_jump"])
+    restored = AnalysisReport.from_dict(report.as_dict())
+    assert not restored.ok
+    assert restored.errors == report.errors
+    assert any(site.verdict == VERDICT_UNSAFE for site in restored.sites)
+
+
+# -- guard elision ------------------------------------------------------------------
+
+
+def test_translator_elides_guards_and_output_matches():
+    codec = VxzCodec()
+    image = codec.guest_decoder_image()
+    payload = codec.encode(synthetic_source_tree_bytes(12000, seed=12))
+
+    vm_on = VirtualMachine(image)
+    result_on = vm_on.decode(payload)
+    vm_off = VirtualMachine(image, analysis_elision=False)
+    result_off = vm_off.decode(payload)
+
+    assert result_on.ok and result_off.ok
+    assert result_on.output == result_off.output
+    assert result_on.stats.guards_elided > 0
+    assert result_off.stats.guards_elided == 0
+
+
+def test_session_surfaces_analysis_counters():
+    codec = VxzCodec()
+    data = synthetic_source_tree_bytes(6000, seed=13)
+    buffer = io.BytesIO()
+    with ArchiveBuilder(buffer) as builder:
+        builder.add("a.txt", data)
+        builder.finish()
+    options = ReadOptions(mode=MODE_VXA, verify_images="reject")
+    with Archive(io.BytesIO(buffer.getvalue()), options) as archive:
+        assert archive.extract("a.txt").data == data
+        stats = archive.session.stats
+    assert stats.images_verified == 1
+    assert stats.guards_elided > 0
+
+
+def test_elision_disabled_by_option():
+    codec = VxzCodec()
+    data = synthetic_source_tree_bytes(6000, seed=14)
+    buffer = io.BytesIO()
+    with ArchiveBuilder(buffer) as builder:
+        builder.add("a.txt", data)
+        builder.finish()
+    options = ReadOptions(mode=MODE_VXA, analysis_elision=False)
+    with Archive(io.BytesIO(buffer.getvalue()), options) as archive:
+        assert archive.extract("a.txt").data == data
+        assert archive.session.stats.guards_elided == 0
+
+
+# -- CLI ----------------------------------------------------------------------------
+
+
+def test_cli_analyze_safe_archive(tmp_path, capsys):
+    from repro.cli import unzip_main
+
+    import repro.api as vxa
+
+    data = synthetic_source_tree_bytes(5000, seed=15)
+    archive_path = tmp_path / "t.zip"
+    with vxa.create(str(archive_path)) as builder:
+        builder.add("a.txt", data)
+        builder.finish()
+    assert unzip_main(["analyze", str(archive_path)]) == 0
+    output = capsys.readouterr().out
+    assert "SAFE" in output
+    assert "proved" in output
+
+
+def test_cli_analyze_hostile_archive(tmp_path, capsys, hostile_images):
+    from repro.cli import unzip_main
+
+    archive_path = tmp_path / "evil.zip"
+    archive_path.write_bytes(_hostile_archive(hostile_images))
+    assert unzip_main(["analyze", str(archive_path)]) == 1
+    output = capsys.readouterr().out
+    assert "UNSAFE" in output
+
+
+def test_cli_extract_verify_images_reject(tmp_path, capsys, hostile_images):
+    from repro.cli import unzip_main
+
+    archive_path = tmp_path / "evil.zip"
+    archive_path.write_bytes(_hostile_archive(hostile_images))
+    out_dir = tmp_path / "out"
+    out_dir.mkdir()
+    code = unzip_main(["extract", str(archive_path), "-o", str(out_dir),
+                       "--vxa", "--verify-images", "reject"])
+    assert code == 2
+    assert "static verification" in capsys.readouterr().err
+
+
+def test_verify_report_is_pure_function_of_image():
+    codec = VxzCodec()
+    image = codec.guest_decoder_image()
+    assert verify_image(image) is verify_image(image)  # memoised by digest
+
+
+def test_min_size_matches_loader_geometry(bundled_reports):
+    from repro.elf.reader import parse_executable
+    from repro.vm.loader import DEFAULT_STACK_SIZE, HEAP_HEADROOM
+
+    for codec in _bundled_codecs():
+        image: ElfImage = parse_executable(codec.guest_decoder_image())
+        report = bundled_reports[codec.info.name]
+        assert report.min_size == (image.load_size + HEAP_HEADROOM
+                                   + DEFAULT_STACK_SIZE)

@@ -1,0 +1,97 @@
+"""The AST lock-linter: the repo is clean, and violations are detected.
+
+``tools/lint_locks.py`` guards two concurrency invariants (CodeCache state
+mutations under ``self.lock``; ``_CODE_MEMO`` accesses under
+``_CODE_MEMO_LOCK``).  These tests pin both directions: the shipped sources
+pass, and deliberately broken synthetic sources fail with pointed messages.
+"""
+
+import pathlib
+import sys
+
+import pytest
+
+REPO_ROOT = pathlib.Path(__file__).resolve().parent.parent
+sys.path.insert(0, str(REPO_ROOT / "tools"))
+
+import lint_locks  # noqa: E402
+
+
+def test_repository_is_clean():
+    assert lint_locks.run() == []
+
+
+def _cache_violations(tmp_path, body: str):
+    path = tmp_path / "code_cache.py"
+    path.write_text(body)
+    return lint_locks.check_code_cache(path)
+
+
+def test_detects_unlocked_counter_increment(tmp_path):
+    violations = _cache_violations(tmp_path, """
+class CodeCache:
+    def record(self):
+        self.hits += 1
+""")
+    assert len(violations) == 1
+    assert "self.hits" in violations[0][2]
+
+
+def test_detects_unlocked_mutation_through_alias(tmp_path):
+    violations = _cache_violations(tmp_path, """
+class CodeCache:
+    def store(self, entry, fragment):
+        fragments = self.fragments
+        fragments[entry] = fragment
+""")
+    assert len(violations) == 1
+    assert "self.fragments" in violations[0][2]
+
+
+def test_detects_unlocked_mutating_method_call(tmp_path):
+    violations = _cache_violations(tmp_path, """
+class CodeCache:
+    def wipe(self):
+        self.known.clear()
+""")
+    assert len(violations) == 1
+    assert "self.known.clear()" in violations[0][2]
+
+
+def test_locked_mutations_pass(tmp_path):
+    violations = _cache_violations(tmp_path, """
+class CodeCache:
+    def store(self, entry, fragment):
+        with self.lock:
+            fragments = self.fragments
+            del fragments[next(iter(fragments))]
+            self.fragments[entry] = fragment
+            self.evictions += 1
+""")
+    assert violations == []
+
+
+def test_init_is_exempt_and_reads_are_free(tmp_path):
+    violations = _cache_violations(tmp_path, """
+class CodeCache:
+    def __init__(self):
+        self.fragments = {}
+        self.hits = 0
+
+    def lookup(self, entry):
+        return self.fragments.get(entry)
+""")
+    assert violations == []
+
+
+@pytest.mark.parametrize("snippet,expect_clean", [
+    ("_CODE_MEMO = {}\n", True),                      # definition site
+    ("with _CODE_MEMO_LOCK:\n    _CODE_MEMO['k'] = 1\n", True),
+    ("_CODE_MEMO['k'] = 1\n", False),
+    ("value = _CODE_MEMO.get('k')\n", False),
+])
+def test_code_memo_access_rules(tmp_path, snippet, expect_clean):
+    path = tmp_path / "translator.py"
+    path.write_text(snippet)
+    violations = lint_locks.check_code_memo(path)
+    assert (violations == []) is expect_clean

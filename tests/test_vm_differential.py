@@ -158,10 +158,11 @@ def _run(image: bytes, engine: str, **vm_kwargs):
 
 #: Translator configurations that must all match the interpreter.
 _TRANSLATOR_CONFIGS = [
-    {},                                        # default superblock engine
+    {},                                        # default engine (elision on)
     {"superblock_limit": 1},                   # one instruction per fragment
     {"chain_fragments": False},                # chaining ablation
     {"use_fragment_cache": False, "chain_fragments": False},
+    {"analysis_elision": False},               # keep every bounds guard
 ]
 
 
