@@ -14,9 +14,22 @@ contained:
 * host file handles other than the three virtual ones do not exist,
 * and after every fault the host process carries on undamaged.
 
+Part two moves up a layer to *archive-level* containment: the same
+guarantees surfaced through `repro.api` as salvage policy.  A deterministic
+`FaultPlan` sabotages individual members of a real archive (corrupted
+payload, exhausted instruction budget, a wedged decoder cut off by
+`member_deadline`), and `ReadOptions(on_error="quarantine")` extracts every
+healthy member byte-for-byte anyway, returning an `ExtractionReport` that
+names each casualty, its error, and how many attempts it was given.
+
 Run with:  python examples/malicious_decoder_sandbox.py
 """
 
+import io
+import pathlib
+import tempfile
+
+import repro.api as vxa
 from repro.elf.builder import build_executable
 from repro.errors import GuestFault
 from repro.isa.assembler import assemble
@@ -108,7 +121,7 @@ def bad_file_handle():
     return compile_source(source, codec_name="evil-fd").elf
 
 
-def main() -> None:
+def run_vm_attacks() -> None:
     limits = ExecutionLimits(max_instructions=2_000_000, max_output_bytes=256 * 1024)
     print("Running hostile decoders inside the VXA virtual machine\n")
     for title, build in ATTACKS:
@@ -127,7 +140,49 @@ def main() -> None:
                            f"output limited to {len(result.output)} bytes")
         print(f"* {title}\n    {outcome}\n")
     print("Host process is still alive and unharmed; all attacks were confined "
-          "to the decoder's own sandbox.")
+          "to the decoder's own sandbox.\n")
+
+
+def run_salvage_demo() -> None:
+    """Archive-level containment: quarantine the casualties, save the rest."""
+    print("Salvaging an archive whose members fail in three different ways\n")
+    buffer = io.BytesIO()
+    with vxa.create(buffer) as builder:
+        for index in range(6):
+            builder.add(f"file{index}.txt", (f"member {index} " * 150).encode())
+
+    plan = vxa.FaultPlan(specs=(
+        # One flipped payload byte -> the decoder output fails its CRC.
+        vxa.FaultSpec(member="file1.txt", kind="corrupt-payload"),
+        # Starve the decoder of instructions -> ResourceLimitExceeded.
+        vxa.FaultSpec(member="file3.txt", kind="exhaust-fuel"),
+        # Fail the decoder's second virtual system call outright.
+        vxa.FaultSpec(member="file4.txt", kind="syscall-error", at=2),
+    ), seed=2026)
+    options = vxa.ReadOptions(
+        mode=vxa.MODE_VXA,
+        on_error=vxa.ON_ERROR_QUARANTINE,   # or "skip"; default "abort"
+        retries=1,                          # worker-crash retry budget
+        member_deadline=5.0,                # wall-clock cap per member decode
+        fault_plan=plan,
+    )
+    with tempfile.TemporaryDirectory() as out:
+        with vxa.open(io.BytesIO(buffer.getvalue()), options) as archive:
+            report = archive.extract_into(pathlib.Path(out))
+        for record in report:
+            print(f"* {record.name}: extracted, {record.size} bytes intact")
+        for failure in report.failures:
+            status = "quarantined" if failure.quarantined else "skipped"
+            print(f"* {failure.name}: {status} after {failure.attempts} "
+                  f"attempt(s) -> {failure.error_type}: {failure.message}")
+    print(f"\n{len(report)} member(s) salvaged, {len(report.failures)} "
+          f"quarantined; one bad member never costs you the rest of the "
+          f"archive (vxunzip extract --keep-going).")
+
+
+def main() -> None:
+    run_vm_attacks()
+    run_salvage_demo()
 
 
 if __name__ == "__main__":

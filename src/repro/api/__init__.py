@@ -31,6 +31,8 @@ import os
 from repro.api.archive import (
     Archive,
     ExtractionRecord,
+    ExtractionReport,
+    MemberFailure,
     MemberInfo,
     MemberPlan,
     safe_extract_path,
@@ -40,9 +42,13 @@ from repro.api.options import (
     EXECUTOR_AUTO,
     EXECUTOR_PROCESS,
     EXECUTOR_THREAD,
+    ON_ERROR_ABORT,
+    ON_ERROR_QUARANTINE,
+    ON_ERROR_SKIP,
     ReadOptions,
     WriteOptions,
 )
+from repro.faults import FaultPlan, FaultSpec
 from repro.api.session import DecoderSession, SessionStats
 from repro.core.archive_reader import (
     ExtractedFile,
@@ -64,8 +70,12 @@ __all__ = [
     "SessionStats",
     "ExtractedFile",
     "ExtractionRecord",
+    "ExtractionReport",
+    "MemberFailure",
     "ArchivedFileInfo",
     "ArchiveManifest",
+    "FaultPlan",
+    "FaultSpec",
     "IntegrityReport",
     "MemberInfo",
     "MemberPlan",
@@ -77,6 +87,9 @@ __all__ = [
     "EXECUTOR_AUTO",
     "EXECUTOR_PROCESS",
     "EXECUTOR_THREAD",
+    "ON_ERROR_ABORT",
+    "ON_ERROR_SKIP",
+    "ON_ERROR_QUARANTINE",
     "safe_extract_path",
 ]
 

@@ -14,7 +14,7 @@ from __future__ import annotations
 import io
 import os
 import pathlib
-from dataclasses import dataclass
+from dataclasses import dataclass, replace
 from typing import Iterator
 
 from repro.codecs.registry import default_registry
@@ -33,13 +33,15 @@ from repro.errors import (
     GuestFault,
     IntegrityError,
     PathTraversalError,
+    VxaError,
+    WorkerCrashed,
 )
 from repro.vm.limits import ExecutionLimits
 from repro.zipformat.crc import crc32
 from repro.zipformat.reader import ZipReader
 from repro.zipformat.structures import METHOD_STORE, METHOD_VXA, ZipEntry
 
-from repro.api.options import ReadOptions
+from repro.api.options import ON_ERROR_ABORT, ON_ERROR_QUARANTINE, ReadOptions
 from repro.api.session import DecoderSession
 
 
@@ -68,6 +70,87 @@ class ExtractionRecord:
     used_vxa_decoder: bool
     decoded: bool
     codec_name: str | None
+
+
+@dataclass
+class MemberFailure:
+    """One contained member failure, as the salvage policies record it.
+
+    Attributes:
+        name: the failing member.
+        error_type: exception class name (``"ResourceLimitExceeded"``, ...).
+        message: the exception message.
+        offset: the member's archived-decoder pseudo-file offset, when it
+            has one (identifies *which* decoder image misbehaved).
+        instructions: guest fuel consumed when the failure fired, when the
+            engine recorded it on the exception.
+        worker: shard worker id that hit the failure (``None`` = serial).
+        attempts: processing attempts made, counting crash retries.
+        quarantined: the member was put beyond use by the ``quarantine``
+            policy (every recorded failure under it, including members that
+            repeatedly killed their worker).
+    """
+
+    name: str
+    error_type: str
+    message: str
+    offset: int | None = None
+    instructions: int | None = None
+    worker: int | None = None
+    attempts: int = 1
+    quarantined: bool = False
+
+    def as_dict(self) -> dict:
+        return {
+            "name": self.name,
+            "error_type": self.error_type,
+            "message": self.message,
+            "offset": self.offset,
+            "instructions": self.instructions,
+            "worker": self.worker,
+            "attempts": self.attempts,
+            "quarantined": self.quarantined,
+        }
+
+    @classmethod
+    def from_dict(cls, data: dict) -> "MemberFailure":
+        return cls(**{key: data.get(key) for key in
+                      ("name", "error_type", "message", "offset",
+                       "instructions", "worker")},
+                   attempts=data.get("attempts", 1),
+                   quarantined=bool(data.get("quarantined", False)))
+
+
+class ExtractionReport(list):
+    """Result of :meth:`Archive.extract_into`: records plus failures.
+
+    A ``list`` subclass holding the successful
+    :class:`ExtractionRecord` entries (in the caller's requested order),
+    so every caller that treated the return value as a plain record list
+    keeps working; the containment layer's extra facts ride on
+    attributes:
+
+    * ``failures`` -- :class:`MemberFailure` per contained member failure
+      (always empty under ``on_error="abort"``, which raises instead);
+    * ``quarantined`` -- names the ``quarantine`` policy put beyond use.
+    """
+
+    def __init__(self, records=(), failures=None):
+        super().__init__(records)
+        self.failures: list[MemberFailure] = list(failures or ())
+
+    @property
+    def records(self) -> list[ExtractionRecord]:
+        return list(self)
+
+    @property
+    def ok(self) -> bool:
+        return not self.failures
+
+    @property
+    def quarantined(self) -> list[str]:
+        return [failure.name for failure in self.failures
+                if failure.quarantined]
 
 
 @dataclass(frozen=True)
@@ -119,6 +202,13 @@ class _MemberStream(io.RawIOBase):
         return f"<vxa member stream {self._name!r}>"
 
 
+def _in_pool_worker() -> bool:
+    """Is this code running inside a parallel pool worker (thread/process)?"""
+    from repro.parallel.worker import in_worker
+
+    return in_worker()
+
+
 def safe_extract_path(directory: pathlib.Path, member_name: str) -> pathlib.Path:
     """Resolve ``member_name`` inside ``directory``, refusing zip-slip escapes.
 
@@ -164,6 +254,11 @@ class Archive:
         self._zip = ZipReader(file)
         self._registry = self.options.registry or default_registry()
         self._limits = self.options.limits or ExecutionLimits()
+        if self.options.member_deadline is not None:
+            wall = self._limits.max_wall_seconds
+            wall = (self.options.member_deadline if wall is None
+                    else min(wall, self.options.member_deadline))
+            self._limits = replace(self._limits, max_wall_seconds=wall)
         self._decoder_cache: dict[int, bytes] = {}
         self._session = DecoderSession(
             self._load_decoder,
@@ -294,7 +389,7 @@ class Archive:
     def extract_into(self, directory, names: list[str] | None = None, *,
                      mode: str | None = None,
                      force_decode: bool | None = None,
-                     jobs: int | None = None) -> list[ExtractionRecord]:
+                     jobs: int | None = None) -> ExtractionReport:
         """Extract members under ``directory``, refusing zip-slip escapes.
 
         Every member name is validated with :func:`safe_extract_path` before
@@ -306,6 +401,14 @@ class Archive:
         bytes are identical to the serial path (each worker runs this very
         method over its shard) and the workers' session counters are merged
         into this archive's :attr:`session` stats.
+
+        Returns an :class:`ExtractionReport` -- a list of the successful
+        :class:`ExtractionRecord` entries.  Under ``on_error="abort"``
+        (default) the first member failure raises, exactly as before.
+        Under ``"skip"``/``"quarantine"`` a failing member is recorded in
+        ``report.failures`` and every other member still extracts,
+        byte-identical to a clean run (each member streams through its own
+        temp-and-rename, so a contained failure leaves no partial file).
         """
         directory = pathlib.Path(directory)
         wanted = names if names is not None else self.names()
@@ -318,27 +421,41 @@ class Archive:
             return parallel_extract_into(
                 self, directory, wanted, jobs,
                 mode=mode, force_decode=force_decode)
-        records: list[ExtractionRecord] = []
+        on_error = self.options.on_error
+        report = ExtractionReport()
         for name, target in targets:
             entry = self._zip.find(name)
-            chunks, meta = self._member_pipeline(entry, mode, force_decode, None)
-            used_vxa, decoded, codec_name, _ = meta
-            target.parent.mkdir(parents=True, exist_ok=True)
-            # Stream into a temporary sibling and rename on success, so an
-            # error mid-member (CRC mismatch, truncation, decoder fault)
-            # never leaves a partial file under the member's final name.
-            partial = target.with_name(target.name + ".vxa-partial")
-            written = 0
             try:
-                with open(partial, "wb") as sink:
-                    for chunk in chunks:
-                        sink.write(chunk)
-                        written += len(chunk)
-            except BaseException:
-                partial.unlink(missing_ok=True)
-                raise
-            partial.replace(target)
-            records.append(ExtractionRecord(
+                chunks, meta = self._member_pipeline(entry, mode, force_decode,
+                                                     None)
+                used_vxa, decoded, codec_name, _ = meta
+                target.parent.mkdir(parents=True, exist_ok=True)
+                # Stream into a temporary sibling and rename on success, so
+                # an error mid-member (CRC mismatch, truncation, decoder
+                # fault) never leaves a partial file under the final name.
+                partial = target.with_name(target.name + ".vxa-partial")
+                written = 0
+                try:
+                    with open(partial, "wb") as sink:
+                        for chunk in chunks:
+                            sink.write(chunk)
+                            written += len(chunk)
+                except BaseException:
+                    partial.unlink(missing_ok=True)
+                    raise
+                partial.replace(target)
+            except VxaError as error:
+                if isinstance(error, WorkerCrashed) and _in_pool_worker():
+                    # An injected worker kill must *crash the worker*, not
+                    # be contained here -- the pool's crash recovery is the
+                    # layer under test.  (A real process kill never reaches
+                    # this handler at all.)
+                    raise
+                if on_error == ON_ERROR_ABORT:
+                    raise
+                report.failures.append(self._member_failure(entry, error))
+                continue
+            report.append(ExtractionRecord(
                 name=name,
                 path=target,
                 size=written,
@@ -346,7 +463,19 @@ class Archive:
                 decoded=decoded,
                 codec_name=codec_name,
             ))
-        return records
+        return report
+
+    def _member_failure(self, entry: ZipEntry, error: Exception) -> MemberFailure:
+        """Record one contained member failure (salvage bookkeeping)."""
+        extension = parse_extension(entry.extra)
+        return MemberFailure(
+            name=entry.name,
+            error_type=type(error).__name__,
+            message=str(error),
+            offset=extension.decoder_offset if extension is not None else None,
+            instructions=getattr(error, "instructions", None),
+            quarantined=self.options.on_error == ON_ERROR_QUARANTINE,
+        )
 
     # -- integrity ------------------------------------------------------------
 
@@ -404,10 +533,22 @@ class Archive:
             return
         report.checked += 1
         try:
+            plan = self.options.fault_plan
+            if plan is not None:
+                plan.io_delay(entry.name)
+                plan.kill_worker(entry.name)
             encoded = self._encoded_bytes(entry, extension)
             data = self._run_archived_decoder(session, entry, extension, encoded)
         except (GuestFault, ArchiveError) as error:
             report.failures.append(f"{entry.name}: {error}")
+            return
+        except WorkerCrashed:
+            # A simulated worker kill: in a pool worker the shard must
+            # crash so recovery reschedules it; serially it is one more
+            # contained member failure.
+            if _in_pool_worker():
+                raise
+            report.failures.append(f"{entry.name}: worker crashed")
             return
         if (len(data) != extension.original_size
                 or crc32(data) != extension.original_crc32):
@@ -523,19 +664,36 @@ class Archive:
 
     def _encoded_bytes(self, entry: ZipEntry, extension: VxaExtension) -> bytes:
         if entry.method == METHOD_VXA:
-            return self._zip.read_stored_bytes(entry)
-        # Pre-compressed member stored with method 0: the member data *is* the
-        # encoded stream the decoder understands.
-        return self._zip.read_member(entry)
+            encoded = self._zip.read_stored_bytes(entry)
+        else:
+            # Pre-compressed member stored with method 0: the member data *is*
+            # the encoded stream the decoder understands.
+            encoded = self._zip.read_member(entry)
+        plan = self.options.fault_plan
+        if plan is not None:
+            # Chaos hook: a flipped payload byte surfaces exactly as a truly
+            # corrupt archive would (codec error or checksum mismatch).
+            encoded = plan.corrupt(entry.name, encoded)
+        return encoded
 
     def _run_archived_decoder(self, session: DecoderSession, entry: ZipEntry,
                               extension: VxaExtension, encoded: bytes,
                               fresh_override: bool | None = None) -> bytes:
+        limits = None
+        fault_syscall = None
+        plan = self.options.fault_plan
+        if plan is not None:
+            fuel = plan.fuel_limit(entry.name)
+            if fuel is not None:
+                limits = replace(self._limits, max_instructions=fuel)
+            fault_syscall = plan.syscall_fault_at(entry.name)
         result = session.decode(
             extension.decoder_offset,
             encoded,
             attributes=self._attributes_for(entry),
+            limits=limits,
             fresh_override=fresh_override,
+            fault_syscall=fault_syscall,
         )
         if result.exit_code != 0:
             raise IntegrityError(
@@ -559,6 +717,12 @@ class Archive:
             raise ArchiveError(f"unknown extraction mode {mode!r}")
         force = self.options.force_decode if force_decode is None else force_decode
         chunk_size = self.options.chunk_size
+        plan = self.options.fault_plan
+        if plan is not None:
+            # Chaos hooks that fire *before* the member is read: IO delay
+            # and worker kill (process workers exit hard here).
+            plan.io_delay(entry.name)
+            plan.kill_worker(entry.name)
         extension = parse_extension(entry.extra)
 
         if extension is None:

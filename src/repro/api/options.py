@@ -16,6 +16,7 @@ from dataclasses import dataclass, replace
 from repro.codecs.registry import CodecRegistry
 from repro.core.archive_reader import MODE_AUTO, MODE_NATIVE, MODE_VXA
 from repro.core.policy import VmReusePolicy
+from repro.faults import FaultPlan
 from repro.vm.limits import ExecutionLimits
 from repro.vm.machine import ENGINE_INTERPRETER, ENGINE_TRANSLATOR
 
@@ -27,6 +28,12 @@ EXECUTOR_AUTO = "auto"
 EXECUTOR_PROCESS = "process"
 EXECUTOR_THREAD = "thread"
 _EXECUTORS = (EXECUTOR_AUTO, EXECUTOR_PROCESS, EXECUTOR_THREAD)
+
+#: Per-member failure policies (``ReadOptions.on_error``).
+ON_ERROR_ABORT = "abort"
+ON_ERROR_SKIP = "skip"
+ON_ERROR_QUARANTINE = "quarantine"
+_ON_ERROR = (ON_ERROR_ABORT, ON_ERROR_SKIP, ON_ERROR_QUARANTINE)
 
 
 @dataclass(frozen=True)
@@ -72,6 +79,26 @@ class ReadOptions:
         analysis_elision: let the translator drop bounds guards at sites
             the static verifier proved safe (disable only for the elision
             ablation; ignored by the interpreter engine).
+        on_error: what a failing member does to the rest of the run --
+            ``"abort"`` (default: first failure raises, matching the old
+            behaviour), ``"skip"`` (record the failure in the
+            :class:`~repro.api.archive.ExtractionReport` and continue) or
+            ``"quarantine"`` (like skip, but failed members are flagged
+            quarantined and crash-killed members are retried up to
+            ``retries`` before quarantine).
+        retries: per-member retry budget after a worker crash (fresh VM and
+            fresh session on each retry).  A member whose processing kills
+            workers ``retries + 1`` times is quarantined rather than
+            retried forever.  Only consulted when ``on_error`` is not
+            ``"abort"``.
+        member_deadline: wall-clock seconds one member's decoder run may
+            take before it is aborted with
+            :class:`~repro.errors.DeadlineExceeded` (piggybacked on the
+            engines' fuel checks, so a wedged guest cannot hang a worker).
+            ``None`` disables the deadline.
+        fault_plan: deterministic fault-injection plan
+            (:class:`~repro.faults.FaultPlan`) consulted by the read path's
+            chaos hooks; ``None`` (production) makes every hook a no-op.
     """
 
     mode: str = MODE_AUTO
@@ -88,6 +115,10 @@ class ReadOptions:
     code_cache_limit: int | None = None
     verify_images: str = "off"
     analysis_elision: bool = True
+    on_error: str = ON_ERROR_ABORT
+    retries: int = 1
+    member_deadline: float | None = None
+    fault_plan: FaultPlan | None = None
 
     def __post_init__(self):
         if self.mode not in _MODES:
@@ -108,6 +139,15 @@ class ReadOptions:
             raise ValueError("code_cache_limit must be at least 1")
         if self.verify_images not in ("off", "warn", "reject"):
             raise ValueError(f"unknown verify_images mode {self.verify_images!r}")
+        if self.on_error not in _ON_ERROR:
+            raise ValueError(f"unknown on_error policy {self.on_error!r}")
+        if self.retries < 0:
+            raise ValueError("retries must be non-negative")
+        if self.member_deadline is not None and self.member_deadline <= 0:
+            raise ValueError("member_deadline must be positive")
+        if self.fault_plan is not None and not isinstance(self.fault_plan,
+                                                          FaultPlan):
+            raise TypeError("fault_plan must be a FaultPlan")
 
     def with_changes(self, **changes) -> "ReadOptions":
         """A copy of these options with some fields replaced."""

@@ -158,6 +158,7 @@ class DecoderSession:
         attributes: SecurityAttributes | None = None,
         limits: ExecutionLimits | None = None,
         fresh_override: bool | None = None,
+        fault_syscall: int | None = None,
     ) -> DecodeResult:
         """Run the archived decoder at ``decoder_offset`` over ``encoded``.
 
@@ -165,7 +166,8 @@ class DecoderSession:
         under ``REUSE_SAME_ATTRIBUTES`` a change of protection domain forces
         re-initialisation.  ``fresh_override`` bypasses the policy for legacy
         callers (the deprecated ``fresh_vm`` flag) and should not be used by
-        new code.
+        new code.  ``fault_syscall`` is the fault-injection hook: fail the
+        run at the guest's Nth virtual system call (``None`` in production).
         """
         attributes = attributes or SecurityAttributes()
         vm = self._vms.get(decoder_offset)
@@ -200,7 +202,8 @@ class DecoderSession:
         self._last_attributes[decoder_offset] = attributes
         self.stats.decodes += 1
         run_limits = limits or self._limits.scaled_for_input(len(encoded))
-        result = vm.decode(encoded, limits=run_limits, fresh=fresh)
+        result = vm.decode(encoded, limits=run_limits, fresh=fresh,
+                           fault_syscall=fault_syscall)
         run = result.stats
         self.stats.fragments_translated += run.fragments_translated
         self.stats.cache_hits += run.fragment_cache_hits

@@ -33,6 +33,10 @@ from repro.errors import VxaError
 def _read_options(args) -> vxa.ReadOptions:
     mode = vxa.MODE_VXA if getattr(args, "vxa", False) else vxa.MODE_AUTO
     reuse = VmReusePolicy(getattr(args, "reuse", VmReusePolicy.ALWAYS_FRESH.value))
+    on_error = getattr(args, "on_error", None) or vxa.ON_ERROR_ABORT
+    if getattr(args, "keep_going", False) and on_error == vxa.ON_ERROR_ABORT:
+        # --keep-going is the ergonomic alias; --on-error picks the flavour.
+        on_error = vxa.ON_ERROR_QUARANTINE
     return vxa.ReadOptions(
         mode=mode,
         force_decode=getattr(args, "force_decode", False),
@@ -40,6 +44,9 @@ def _read_options(args) -> vxa.ReadOptions:
         jobs=max(1, getattr(args, "jobs", 1) or 1),
         verify_images=getattr(args, "verify_images", "off"),
         analysis_elision=not getattr(args, "no_guard_elision", False),
+        on_error=on_error,
+        retries=getattr(args, "retries", 1),
+        member_deadline=getattr(args, "member_deadline", None),
     )
 
 
@@ -75,14 +82,24 @@ def _cmd_list(args) -> int:
 
 def _cmd_extract(args) -> int:
     with vxa.open(args.archive, _read_options(args)) as archive:
-        records = archive.extract_into(
+        report = archive.extract_into(
             pathlib.Path(args.output),
             names=args.members or None,
         )
-        for record in records:
+        for record in report:
             how = "archived VXA decoder" if record.used_vxa_decoder else (
                 "native decoder" if record.decoded else "stored form (still compressed)")
             print(f"  {record.name}: {record.size} bytes via {how}")
+        for failure in report.failures:
+            status = "quarantined" if failure.quarantined else "skipped"
+            retried = (f", {failure.attempts} attempt(s)"
+                       if failure.attempts > 1 else "")
+            print(f"  {failure.name}: {status} -- {failure.error_type}: "
+                  f"{failure.message}{retried}", file=sys.stderr)
+        if report.failures:
+            print(f"{len(report)} member(s) extracted, "
+                  f"{len(report.failures)} failed "
+                  f"({len(report.quarantined)} quarantined)", file=sys.stderr)
         if getattr(args, "stats", False):
             # With --jobs > 1 these counters are the merged totals of every
             # worker's DecoderSession, so the line reads the same either way.
@@ -98,7 +115,7 @@ def _cmd_extract(args) -> int:
                 f"static analysis: {stats.images_verified} image(s) analysed, "
                 f"{stats.guards_elided} bounds guard(s) elided"
             )
-    return 0
+    return 1 if report.failures else 0
 
 
 def _cmd_analyze(args) -> int:
@@ -148,6 +165,24 @@ def _cmd_check(args) -> int:
     return 0 if report.ok else 1
 
 
+def _add_containment_flags(parser) -> None:
+    """Fault-containment knobs shared by ``extract`` and ``check``."""
+    parser.add_argument("-k", "--keep-going", action="store_true",
+                        help="do not abort on a failing member: quarantine "
+                             "it and extract everything else")
+    parser.add_argument("--on-error", default=None,
+                        choices=[vxa.ON_ERROR_ABORT, vxa.ON_ERROR_SKIP,
+                                 vxa.ON_ERROR_QUARANTINE],
+                        help="per-member failure policy (overrides "
+                             "--keep-going's default of 'quarantine')")
+    parser.add_argument("--retries", type=int, default=1,
+                        help="times a member may kill its worker before it "
+                             "is quarantined (default: 1)")
+    parser.add_argument("--member-deadline", type=float, default=None,
+                        help="wall-clock seconds one member's decoder may "
+                             "run before it is aborted (default: no limit)")
+
+
 def _add_reading_commands(commands) -> None:
     listing = commands.add_parser("list", help="list archive members and decoders")
     listing.add_argument("archive")
@@ -176,6 +211,7 @@ def _add_reading_commands(commands) -> None:
     extract.add_argument("--no-guard-elision", action="store_true",
                          help="keep every dynamic bounds guard even at "
                               "statically proved sites (ablation)")
+    _add_containment_flags(extract)
     extract.set_defaults(handler=_cmd_extract)
 
     check = commands.add_parser("check", help="verify the archive with its own decoders")
@@ -193,6 +229,7 @@ def _add_reading_commands(commands) -> None:
     check.add_argument("--no-guard-elision", action="store_true",
                        help="keep every dynamic bounds guard even at "
                             "statically proved sites (ablation)")
+    _add_containment_flags(check)
     check.set_defaults(handler=_cmd_check)
 
     analyze = commands.add_parser(

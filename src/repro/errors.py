@@ -32,6 +32,12 @@ class InvalidInstructionError(VxaError):
         self.offset = offset
         self.reason = reason or "invalid"
 
+    def __reduce__(self):
+        # Rebuild through the constructor so offset/reason survive the
+        # pickle boundary regardless of how args were formatted.
+        return (_rebuild_invalid_instruction,
+                (self.args[0], self.offset, self.reason))
+
 
 class AssemblerError(VxaError):
     """Assembly source was malformed (bad mnemonic, unknown label, ...)."""
@@ -55,6 +61,14 @@ class VxcSyntaxError(VxcError):
         super().__init__(message + location)
         self.line = line
         self.column = column
+
+    def __reduce__(self):
+        # The constructor *appends* the location to the message, so a naive
+        # rebuild from the stored (already-formatted) message with the same
+        # line/column would duplicate it.  Rebuild from the formatted
+        # message with no location and restore line/column as state.
+        return (VxcSyntaxError, (self.args[0],),
+                {"line": self.line, "column": self.column})
 
 
 class VxcSemanticError(VxcError):
@@ -99,6 +113,34 @@ class SyscallFault(GuestFault):
 
 class ResourceLimitExceeded(GuestFault):
     """The guest exceeded an execution resource limit (fuel, output, memory)."""
+
+
+class DeadlineExceeded(ResourceLimitExceeded):
+    """The guest ran past its wall-clock deadline (``member_deadline``).
+
+    Derives from :class:`ResourceLimitExceeded` so every handler that
+    already contains a fuel-exhausted decoder contains a wedged one too.
+    ``instructions`` records the guest fuel consumed when the deadline
+    fired, when the engine knows it.
+    """
+
+    def __init__(self, message: str, *, deadline: float | None = None,
+                 instructions: int | None = None):
+        super().__init__(message)
+        self.deadline = deadline
+        self.instructions = instructions
+
+    def __reduce__(self):
+        return (_rebuild_deadline_exceeded,
+                (self.args[0], self.deadline, self.instructions))
+
+
+class InjectedFault(GuestFault):
+    """A deterministic fault raised by an active :mod:`repro.faults` plan.
+
+    Only ever raised when a :class:`~repro.faults.FaultPlan` is installed
+    (tests and chaos drills); production runs never construct one.
+    """
 
 
 class StackFault(GuestFault):
@@ -149,3 +191,46 @@ class DecoderMissingError(ArchiveError):
 
 class PathTraversalError(ArchiveError):
     """A member name would escape the extraction directory (zip-slip)."""
+
+
+# --------------------------------------------------------------------------
+# Parallel execution errors
+# --------------------------------------------------------------------------
+
+class WorkerCrashed(VxaError):
+    """A pool worker died (or simulated dying) while processing a shard.
+
+    This is a *host-level* event, not a guest fault: the worker process was
+    killed (``BrokenProcessPool``), or an injected ``kill-worker`` fault
+    fired in a thread/serial worker.  The parallel engine converts it into
+    a reschedule of the shard's unfinished members; under
+    ``on_error="abort"`` it propagates to the caller.
+    """
+
+    def __init__(self, message: str, *, member: str | None = None,
+                 worker: int | None = None):
+        super().__init__(message)
+        self.member = member
+        self.worker = worker
+
+    def __reduce__(self):
+        return (_rebuild_worker_crashed,
+                (self.args[0], self.member, self.worker))
+
+
+# --------------------------------------------------------------------------
+# Pickle rebuild helpers (keyword-only constructors cannot be re-invoked
+# from a plain args tuple; workers report structured errors by pickle)
+# --------------------------------------------------------------------------
+
+def _rebuild_invalid_instruction(message, offset, reason):
+    return InvalidInstructionError(message, offset=offset, reason=reason)
+
+
+def _rebuild_deadline_exceeded(message, deadline, instructions):
+    return DeadlineExceeded(message, deadline=deadline,
+                            instructions=instructions)
+
+
+def _rebuild_worker_crashed(message, member, worker):
+    return WorkerCrashed(message, member=member, worker=worker)

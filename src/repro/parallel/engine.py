@@ -1,4 +1,4 @@
-"""Orchestration: plan, shard, dispatch, and merge for parallel reads.
+"""Orchestration: plan, shard, dispatch, recover, and merge for parallel reads.
 
 The facade (:meth:`Archive.extract_into` / :meth:`Archive.check` with
 ``jobs > 1``) calls in here.  The flow is always the same four steps:
@@ -16,6 +16,19 @@ Output equality with the serial path is structural, not incidental: each
 worker executes the *serial* extraction/check code over its shard, and every
 decode is verified against the member's recorded CRC before anything is
 surfaced.
+
+This module also owns worker crash recovery.  A shard whose worker died
+(``BrokenProcessPool`` in process mode, a simulated
+:class:`~repro.errors.WorkerCrashed` in thread mode) loses its results
+wholesale; under a salvage policy its members are rescheduled one at a
+time against a respawned pool -- extraction is idempotent (each member
+streams through a temp-and-rename), so re-running members the crashed
+shard had already finished is safe.  Each reschedule counts against the
+member's ``ReadOptions.retries`` budget and runs with a pristine VM and
+session (``fresh`` payload flag); a member that keeps killing workers is
+quarantined instead of retried forever.  Re-running culprit and
+collateral members individually is also how the culprit is *identified*:
+only it crashes again.
 """
 
 from __future__ import annotations
@@ -55,41 +68,36 @@ def _shippable_source(archive):
         os.unlink(spooled)
 
 
-def _run_shards(archive, shards, runner, payloads, jobs, pool=None):
-    total_cost = sum(shard.cost for shard in shards)
+@contextlib.contextmanager
+def _pool_for(archive, shards, payloads, jobs, pool):
+    """The worker pool to run on: the caller's, or an ephemeral one."""
     if pool is not None:
-        return pool.run(runner, payloads)
+        yield pool
+        return
+    total_cost = sum(shard.cost for shard in shards)
     with WorkerPool(min(jobs, len(shards)), archive.options.executor,
                     total_cost=total_cost, payload=payloads[0]) as ephemeral:
-        return ephemeral.run(runner, payloads)
+        yield ephemeral
 
 
 def parallel_extract_into(archive, directory, names, jobs, *,
                           mode=None, force_decode=None, pool=None):
     """Sharded :meth:`Archive.extract_into`; see that method for semantics."""
-    from repro.api.archive import ExtractionRecord
+    from repro.api.archive import (ExtractionRecord, ExtractionReport,
+                                   MemberFailure)
+    from repro.api.options import ON_ERROR_ABORT, ON_ERROR_QUARANTINE
 
+    options = archive.options
     plan = archive.extraction_plan(names, mode=mode, force_decode=force_decode)
     shards = Scheduler(jobs).plan(plan)
     if len(shards) <= 1:
         return archive.extract_into(directory, names, mode=mode,
                                     force_decode=force_decode, jobs=1)
-    with _shippable_source(archive) as source:
-        payloads = [
-            {
-                "source": source,
-                "options": archive.options,
-                "names": shard.names,
-                "directory": str(directory),
-                "mode": mode,
-                "force_decode": force_decode,
-            }
-            for shard in shards
-        ]
-        results = _run_shards(archive, shards, run_extract_shard, payloads,
-                              jobs, pool=pool)
-    by_name = {}
-    for result in results:
+    by_name: dict[str, ExtractionRecord] = {}
+    failures: list[MemberFailure] = []
+    abort = options.on_error == ON_ERROR_ABORT
+
+    def absorb(result):
         archive.session.stats.merge(SessionStats.from_dict(result["stats"]))
         for record in result["records"]:
             by_name[record["name"]] = ExtractionRecord(
@@ -100,7 +108,77 @@ def parallel_extract_into(archive, directory, names, jobs, *,
                 decoded=record["decoded"],
                 codec_name=record["codec_name"],
             )
-    return [by_name[name] for name in names]
+        for failure in result["failures"]:
+            failures.append(MemberFailure.from_dict(failure))
+
+    with _shippable_source(archive) as source:
+        base = {
+            "source": source,
+            "options": options,
+            "directory": str(directory),
+            "mode": mode,
+            "force_decode": force_decode,
+        }
+        payloads = [dict(base, names=shard.names, worker=shard.worker)
+                    for shard in shards]
+        with _pool_for(archive, shards, payloads, jobs, pool) as active:
+            attempts: dict[str, int] = {}
+            retry: list[str] = []
+            for outcome in active.run_all(run_extract_shard, payloads):
+                if outcome.crashed and not abort:
+                    # The whole shard's results are lost; schedule every
+                    # member for an individual re-run (idempotent) and
+                    # charge each one attempt -- the culprit is whichever
+                    # member crashes again when run alone.
+                    for name in outcome.payload["names"]:
+                        attempts[name] = attempts.get(name, 0) + 1
+                        retry.append(name)
+                elif outcome.error is not None:
+                    raise outcome.error
+                else:
+                    absorb(outcome.result)
+
+            while retry:
+                rerun = []
+                for name in retry:
+                    if attempts[name] > options.retries:
+                        failures.append(MemberFailure(
+                            name=name,
+                            error_type="WorkerCrashed",
+                            message=(f"member killed its worker "
+                                     f"{attempts[name]} time(s); "
+                                     f"retry budget ({options.retries}) "
+                                     f"exhausted"),
+                            attempts=attempts[name],
+                            quarantined=(options.on_error
+                                         == ON_ERROR_QUARANTINE),
+                        ))
+                    else:
+                        rerun.append(name)
+                retry = []
+                if not rerun:
+                    break
+                # Retries run one member at a time: a process-pool break
+                # fails every in-flight future, so batching reruns would
+                # charge innocent members for the culprit's crash.
+                for name in rerun:
+                    payload = dict(base, names=[name], worker=None,
+                                   fresh=True)
+                    [outcome] = active.run_all(run_extract_shard, [payload])
+                    if outcome.crashed:
+                        attempts[name] += 1
+                        retry.append(name)
+                    elif outcome.error is not None:
+                        raise outcome.error
+                    else:
+                        absorb(outcome.result)
+
+    order = {name: index for index, name in enumerate(names)}
+    failures.sort(key=lambda failure: order.get(failure.name, len(order)))
+    return ExtractionReport(
+        (by_name[name] for name in names if name in by_name),
+        failures,
+    )
 
 
 def parallel_check(archive, jobs, *, reuse=None, names=None, pool=None):
@@ -117,26 +195,66 @@ def parallel_check(archive, jobs, *, reuse=None, names=None, pool=None):
     shards = Scheduler(jobs).plan(plan)
     if len(shards) <= 1:
         return archive.check(reuse=reuse, names=names, jobs=1)
-    with _shippable_source(archive) as source:
-        payloads = [
-            {
-                "source": source,
-                "options": archive.options,
-                "names": shard.names,
-                "reuse": reuse.value if reuse is not None else None,
-            }
-            for shard in shards
-        ]
-        results = _run_shards(archive, shards, run_check_shard, payloads,
-                              jobs, pool=pool)
     report = IntegrityReport()
     failures: list[tuple[int, str]] = []
-    for result in results:
+
+    def absorb(result):
         report.checked += result["checked"]
         report.passed += result["passed"]
         for failure in result["failures"]:
             failures.append((_failure_order(failure, order), failure))
         report.add_counters(result)
+
+    with _shippable_source(archive) as source:
+        base = {
+            "source": source,
+            "options": archive.options,
+            "reuse": reuse.value if reuse is not None else None,
+        }
+        payloads = [dict(base, names=shard.names) for shard in shards]
+        with _pool_for(archive, shards, payloads, jobs, pool) as active:
+            attempts: dict[str, int] = {}
+            retry: list[str] = []
+            # The check's contract is record-everything-raise-nothing, so
+            # crash recovery applies regardless of the on_error policy.
+            for outcome in active.run_all(run_check_shard, payloads):
+                if outcome.crashed:
+                    for name in outcome.payload["names"]:
+                        attempts[name] = attempts.get(name, 0) + 1
+                        retry.append(name)
+                elif outcome.error is not None:
+                    raise outcome.error
+                else:
+                    absorb(outcome.result)
+
+            while retry:
+                rerun = []
+                for name in retry:
+                    if attempts[name] > archive.options.retries:
+                        report.checked += 1
+                        failures.append((
+                            order.get(name, len(order)),
+                            f"{name}: worker crashed {attempts[name]} "
+                            f"time(s); retry budget exhausted",
+                        ))
+                    else:
+                        rerun.append(name)
+                retry = []
+                if not rerun:
+                    break
+                # One member at a time, for the same reason as extraction:
+                # a pool break must not charge innocent members' budgets.
+                for name in rerun:
+                    payload = dict(base, names=[name], fresh=True)
+                    [outcome] = active.run_all(run_check_shard, [payload])
+                    if outcome.crashed:
+                        attempts[name] += 1
+                        retry.append(name)
+                    elif outcome.error is not None:
+                        raise outcome.error
+                    else:
+                        absorb(outcome.result)
+
     report.failures.extend(failure for _, failure in sorted(failures))
     return report
 

@@ -20,13 +20,16 @@ import os
 import pickle
 import threading
 from concurrent.futures import (
+    BrokenExecutor,
     FIRST_EXCEPTION,
     ProcessPoolExecutor,
     ThreadPoolExecutor,
     wait,
 )
+from dataclasses import dataclass
 
 from repro.api.options import EXECUTOR_AUTO, EXECUTOR_PROCESS, EXECUTOR_THREAD
+from repro.errors import VxaError, WorkerCrashed
 
 #: Below this much total stored work (bytes), process startup and payload
 #: pickling cost more than multi-core buys; ``auto`` stays in-process.
@@ -69,6 +72,23 @@ def resolve_executor(kind: str, jobs: int, *, total_cost: int | None = None,
     return EXECUTOR_PROCESS
 
 
+@dataclass
+class WorkOutcome:
+    """What happened to one payload submitted through :meth:`WorkerPool.run_all`.
+
+    Exactly one of ``result``/``error`` is populated.  ``crashed`` marks the
+    worker-death flavour of failure (a dead process pool worker, or a
+    simulated :class:`~repro.errors.WorkerCrashed` in thread mode): the
+    payload's work was lost wholesale, not rejected, and the engine's crash
+    recovery may reschedule it.
+    """
+
+    payload: dict
+    result: dict | None = None
+    error: BaseException | None = None
+    crashed: bool = False
+
+
 class WorkerPool:
     """A fixed pool of workers executing shard payloads.
 
@@ -104,17 +124,38 @@ class WorkerPool:
         self.jobs = jobs
         self.kind = resolve_executor(kind, jobs, total_cost=total_cost,
                                      payload=payload)
-        if self.kind == EXECUTOR_PROCESS:
-            context = multiprocessing.get_context(
-                start_method or _default_start_method())
-            self._executor = ProcessPoolExecutor(max_workers=jobs,
-                                                 mp_context=context)
-        elif self.kind == EXECUTOR_THREAD:
-            self._executor = ThreadPoolExecutor(
-                max_workers=jobs, thread_name_prefix="vxa-worker")
-        else:
+        if self.kind not in (EXECUTOR_PROCESS, EXECUTOR_THREAD):
             raise ValueError(f"unknown executor {kind!r}")
+        # Pin the start method at construction so a respawn after a worker
+        # crash recreates an identical executor: _default_start_method()
+        # keys off threading.active_count(), which will have changed by then.
+        self._start_method = (start_method or _default_start_method()
+                              if self.kind == EXECUTOR_PROCESS else None)
+        self._executor = self._make_executor()
+        self.respawns = 0
         self._closed = False
+
+    def _make_executor(self):
+        if self.kind == EXECUTOR_PROCESS:
+            context = multiprocessing.get_context(self._start_method)
+            return ProcessPoolExecutor(max_workers=self.jobs,
+                                       mp_context=context)
+        return ThreadPoolExecutor(max_workers=self.jobs,
+                                  thread_name_prefix="vxa-worker")
+
+    def respawn(self) -> None:
+        """Replace a broken executor with a fresh one of the same shape.
+
+        A dead process-pool worker breaks the whole ``ProcessPoolExecutor``
+        (every pending future fails with ``BrokenProcessPool`` and further
+        submits are refused), so recovery needs a new executor -- same
+        flavour, same worker count, same start method.  Thread executors
+        never break, but respawning one is harmless and keeps the recovery
+        path uniform.
+        """
+        self._executor.shutdown(wait=False, cancel_futures=True)
+        self._executor = self._make_executor()
+        self.respawns += 1
 
     def run(self, fn, payloads: list) -> list:
         """Run ``fn(payload)`` for every payload; results in payload order.
@@ -131,13 +172,54 @@ class WorkerPool:
                 raise error
         return [future.result() for future in futures]
 
+    def run_all(self, fn, payloads: list) -> list:
+        """Run every payload to an outcome; never raises for worker failures.
+
+        Returns one :class:`WorkOutcome` per payload, in payload order.  A
+        worker death -- real (``BrokenProcessPool``: the OS process died and
+        took every pending future with it) or simulated
+        (:class:`~repro.errors.WorkerCrashed` from the fault-injection
+        hooks in thread mode) -- marks the outcome ``crashed``; any other
+        exception is carried in ``error``.  A broken executor is respawned
+        before returning, so the caller can resubmit crashed payloads
+        immediately.
+        """
+        outcomes = [WorkOutcome(payload=payload) for payload in payloads]
+        futures: dict[int, object] = {}
+        broken = False
+        for index, payload in enumerate(payloads):
+            try:
+                futures[index] = self._executor.submit(fn, payload)
+            except BrokenExecutor as error:
+                # The pool broke under an earlier payload of this batch;
+                # nothing was submitted for this one.
+                broken = True
+                outcomes[index].crashed = True
+                outcomes[index].error = error
+        wait(list(futures.values()))
+        for index, future in futures.items():
+            error = future.exception()
+            if error is None:
+                outcomes[index].result = future.result()
+            elif isinstance(error, (BrokenExecutor, WorkerCrashed)):
+                broken = broken or isinstance(error, BrokenExecutor)
+                outcomes[index].crashed = True
+                outcomes[index].error = error
+            else:
+                outcomes[index].error = error
+        if broken:
+            self.respawn()
+        return outcomes
+
     def close(self) -> None:
         if self._closed:
             return
         self._closed = True
-        if self.kind == EXECUTOR_THREAD:
-            self._drain_thread_workers()
-        self._executor.shutdown(wait=True)
+        try:
+            if self.kind == EXECUTOR_THREAD:
+                self._drain_thread_workers()
+        finally:
+            self._executor.shutdown(wait=True)
 
     def _drain_thread_workers(self) -> None:
         """Close every thread worker's cached archives before shutdown.
@@ -147,20 +229,30 @@ class WorkerPool:
         tasks out one-per-thread (it spawns threads up to ``jobs`` while
         tasks are queued and every task blocks until all have started).
         Process workers need no equivalent -- their handles die with them.
+
+        A broken barrier (a worker thread failed to reach it within the
+        timeout -- a wedged or leaked worker) is a real pool failure: some
+        worker's cached archives were *not* closed, so their file handles
+        outlive the pool.  It used to be swallowed here; now it surfaces.
         """
         from repro.parallel.worker import shutdown_worker
 
         barrier = threading.Barrier(self.jobs)
 
         def drain() -> None:
-            try:
-                barrier.wait(timeout=10)
-            except threading.BrokenBarrierError:  # pragma: no cover - timeout
-                pass
+            barrier.wait(timeout=10)
             shutdown_worker()
 
         futures = [self._executor.submit(drain) for _ in range(self.jobs)]
         wait(futures)
+        broken = [future for future in futures
+                  if isinstance(future.exception(), threading.BrokenBarrierError)]
+        if broken:
+            raise VxaError(
+                f"thread pool drain failed: {len(broken)} of {self.jobs} "
+                "workers never reached the shutdown barrier; their cached "
+                "archive handles may have leaked"
+            )
 
     def __enter__(self) -> "WorkerPool":
         return self

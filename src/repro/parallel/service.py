@@ -36,6 +36,7 @@ import io
 import json
 import os
 import pathlib
+import signal
 import sys
 import threading
 import time
@@ -44,6 +45,7 @@ import repro.api as vxa
 from repro.api.options import EXECUTOR_AUTO
 from repro.api.session import SessionStats
 from repro.core.policy import VmReusePolicy
+from repro.faults import FaultPlan
 from repro.parallel.engine import parallel_check, parallel_extract_into
 from repro.parallel.pool import WorkerPool, thread_safe_start_method
 
@@ -54,7 +56,12 @@ DEFAULT_CODE_CACHE_LIMIT = 4096
 #: ReadOptions fields a request may override per call.
 _OPTION_FIELDS = ("mode", "force_decode", "engine", "superblock_limit",
                   "chain_fragments", "chunk_size", "code_cache_limit",
-                  "verify_images", "analysis_elision")
+                  "verify_images", "analysis_elision", "on_error", "retries",
+                  "member_deadline")
+
+#: Ops that are bookkeeping, not archive work: always allowed, even while
+#: the service is draining, and never counted as in-flight work.
+_CONTROL_OPS = frozenset({"ping", "stats", "drain", "shutdown"})
 
 
 class BatchService:
@@ -72,12 +79,19 @@ class BatchService:
 
     def __init__(self, *, jobs: int | None = None,
                  executor: str = EXECUTOR_AUTO,
-                 options: vxa.ReadOptions | None = None):
+                 options: vxa.ReadOptions | None = None,
+                 request_timeout: float | None = None):
         self.jobs = jobs if jobs is not None else (os.cpu_count() or 1)
         self.options = options or vxa.ReadOptions(
             reuse=VmReusePolicy.REUSE_SAME_ATTRIBUTES,
             code_cache_limit=DEFAULT_CODE_CACHE_LIMIT,
         )
+        #: Wall-clock budget for one request's guest work.  It is enforced
+        #: where a hang can actually happen -- every member decode gets a
+        #: ``member_deadline`` capped to this value, which the VM engines
+        #: check inside their fuel accounting -- and audited by the
+        #: watchdog thread, which flags requests running past it.
+        self.request_timeout = request_timeout
         # Never fork here: socket-mode requests submit from handler threads,
         # and those threads do not exist yet when the pool is created, so
         # the thread-state-based default would wrongly pick fork; vxserve's
@@ -87,9 +101,21 @@ class BatchService:
                                start_method=thread_safe_start_method())
         self.stats = SessionStats()
         self.requests = 0
+        self.rejected_draining = 0
+        self.watchdog_overruns = 0
         self.started = time.time()
         self._lock = threading.Lock()
+        self._idle = threading.Condition(self._lock)
+        self._inflight: dict[int, tuple[str, float]] = {}
+        self._next_token = 0
         self._stopping = threading.Event()
+        self._draining = threading.Event()
+        self._watchdog: threading.Thread | None = None
+        if request_timeout is not None:
+            self._watchdog = threading.Thread(
+                target=self._watch_requests, name="vxserve-watchdog",
+                daemon=True)
+            self._watchdog.start()
 
     # -- request handling ------------------------------------------------------
 
@@ -98,6 +124,7 @@ class BatchService:
         response: dict = {}
         if isinstance(request, dict) and "id" in request:
             response["id"] = request["id"]
+        token = None
         try:
             if not isinstance(request, dict):
                 raise ValueError("request must be a JSON object")
@@ -105,6 +132,8 @@ class BatchService:
             handler = getattr(self, f"_op_{op}", None)
             if op is None or handler is None:
                 raise ValueError(f"unknown op {op!r}")
+            if op not in _CONTROL_OPS:
+                token = self._admit(op)
             with self._lock:
                 self.requests += 1
             response["ok"] = True
@@ -115,13 +144,72 @@ class BatchService:
             response["ok"] = False
             response["error"] = str(error)
             response["error_type"] = type(error).__name__
+        finally:
+            if token is not None:
+                self._retire(token)
         return response
+
+    def _admit(self, op: str) -> int:
+        """Register one unit of in-flight archive work; refuse if draining."""
+        with self._idle:
+            if self._draining.is_set():
+                self.rejected_draining += 1
+                raise RuntimeError(
+                    "service is draining and no longer accepts work")
+            token = self._next_token
+            self._next_token += 1
+            self._inflight[token] = (op, time.monotonic())
+            return token
+
+    def _retire(self, token: int) -> None:
+        with self._idle:
+            self._inflight.pop(token, None)
+            if not self._inflight:
+                self._idle.notify_all()
+
+    def _watch_requests(self) -> None:
+        """Flag in-flight requests that outlive the request timeout.
+
+        Termination of a wedged *guest* is the member deadline's job (the
+        engines check it inside their fuel accounting); the watchdog is the
+        audit trail on top -- it counts and reports requests that run past
+        the timeout, so an operator can see a misbehaving workload even
+        when each individual member stays within its deadline.
+        """
+        flagged: set[int] = set()
+        while not self._stopping.wait(min(1.0, self.request_timeout / 4)):
+            now = time.monotonic()
+            with self._lock:
+                live = set(self._inflight)
+                flagged &= live
+                for token, (op, started) in self._inflight.items():
+                    if token in flagged:
+                        continue
+                    if now - started > self.request_timeout:
+                        flagged.add(token)
+                        self.watchdog_overruns += 1
+                        print(f"vxserve watchdog: {op!r} request has run "
+                              f"{now - started:.1f}s "
+                              f"(timeout {self.request_timeout}s)",
+                              file=sys.stderr, flush=True)
 
     def _request_options(self, request: dict) -> vxa.ReadOptions:
         changes = {field: request[field] for field in _OPTION_FIELDS
                    if field in request}
         if "reuse" in request and request["reuse"] is not None:
             changes["reuse"] = VmReusePolicy(request["reuse"])
+        if request.get("fault_plan") is not None:
+            changes["fault_plan"] = FaultPlan.from_dict(request["fault_plan"])
+        if self.request_timeout is not None:
+            # The watchdog's enforcement arm: every member decode of this
+            # request gets a wall-clock deadline no laxer than the
+            # service-wide request timeout.
+            deadline = changes.get("member_deadline",
+                                   self.options.member_deadline)
+            changes["member_deadline"] = (self.request_timeout
+                                          if deadline is None
+                                          else min(deadline,
+                                                   self.request_timeout))
         options = self.options
         return options.with_changes(**changes) if changes else options
 
@@ -169,7 +257,7 @@ class BatchService:
             directory.mkdir(parents=True, exist_ok=True)
             for name in wanted:
                 vxa.safe_extract_path(directory, name)
-            records = parallel_extract_into(
+            report = parallel_extract_into(
                 archive, directory, wanted, jobs, pool=self.pool)
             stats = archive.session.stats
             self._absorb(stats)
@@ -180,8 +268,11 @@ class BatchService:
                      "size": record.size, "decoded": record.decoded,
                      "used_vxa_decoder": record.used_vxa_decoder,
                      "codec": record.codec_name}
-                    for record in records
+                    for record in report
                 ],
+                "failures": [failure.as_dict()
+                             for failure in report.failures],
+                "quarantined": report.quarantined,
                 "stats": stats.as_dict(),
                 "elapsed_seconds": time.perf_counter() - start,
             }
@@ -214,20 +305,54 @@ class BatchService:
                 "jobs": self.jobs,
                 "executor": self.pool.kind,
                 "uptime_seconds": time.time() - self.started,
+                "inflight": len(self._inflight),
+                "draining": self._draining.is_set(),
+                "rejected_draining": self.rejected_draining,
+                "watchdog_overruns": self.watchdog_overruns,
+                "pool_respawns": self.pool.respawns,
                 "session": self.stats.as_dict(),
             }
 
-    def _op_shutdown(self, request: dict) -> dict:
-        self._stopping.set()
-        return {"stopping": True}
+    def _op_drain(self, request: dict) -> dict:
+        """Stop accepting work, wait for in-flight requests, flush stats."""
+        stats = self.drain(timeout=request.get("timeout"))
+        return {"draining": True, **stats}
 
-    # -- transports ------------------------------------------------------------
+    def _op_shutdown(self, request: dict) -> dict:
+        stats = self.drain(timeout=request.get("timeout"))
+        self._stopping.set()
+        return {"stopping": True, **stats}
+
+    # -- lifecycle -------------------------------------------------------------
 
     @property
     def stopping(self) -> bool:
         return self._stopping.is_set()
 
+    def drain(self, timeout: float | None = None) -> dict:
+        """Refuse new archive work and wait for in-flight work to finish.
+
+        Control ops (``ping``/``stats``/``drain``/``shutdown``) keep being
+        served.  Returns the final stats snapshot -- the flush the caller
+        observes before tearing anything down.  Idempotent; concurrent
+        callers all wait on the same condition.
+        """
+        self._draining.set()
+        with self._idle:
+            self._idle.wait_for(lambda: not self._inflight, timeout=timeout)
+            pending = len(self._inflight)
+        snapshot = self._op_stats({})
+        snapshot["drained"] = pending == 0
+        return snapshot
+
     def close(self) -> None:
+        """Graceful teardown: drain in-flight work, then stop the pool.
+
+        The drain is bounded (a wedged in-flight request must not make
+        shutdown hang forever); member deadlines terminate wedged guests
+        well before the backstop when a request timeout is configured.
+        """
+        self.drain(timeout=60.0)
         self._stopping.set()
         self.pool.close()
 
@@ -306,6 +431,14 @@ def build_parser() -> argparse.ArgumentParser:
                         default=DEFAULT_CODE_CACHE_LIMIT,
                         help="LRU cap on translated fragments per decoder "
                              "image (0 disables the cap)")
+    parser.add_argument("--request-timeout", type=float, default=None,
+                        help="wall-clock seconds of guest work one request "
+                             "may use; enforced per member decode via the "
+                             "VM deadline and audited by a watchdog thread")
+    parser.add_argument("--on-error", default=None,
+                        choices=("abort", "skip", "quarantine"),
+                        help="default per-member failure policy for "
+                             "extract requests (requests may override)")
     return parser
 
 
@@ -315,8 +448,20 @@ def main(argv: list[str] | None = None) -> int:
         reuse=VmReusePolicy(args.reuse),
         code_cache_limit=args.code_cache_limit or None,
     )
+    if args.on_error is not None:
+        options = options.with_changes(on_error=args.on_error)
     service = BatchService(jobs=args.jobs, executor=args.executor,
-                           options=options)
+                           options=options,
+                           request_timeout=args.request_timeout)
+
+    def _graceful_exit(signum, frame):
+        # SIGTERM: refuse new work immediately; the SystemExit unwinds to
+        # the finally below, whose close() finishes in-flight requests and
+        # flushes the final stats before the pool goes down.
+        service.drain(timeout=0)
+        raise SystemExit(0)
+
+    previous = signal.signal(signal.SIGTERM, _graceful_exit)
     try:
         if args.socket:
             service.serve_socket(args.socket)
@@ -325,6 +470,10 @@ def main(argv: list[str] | None = None) -> int:
     except KeyboardInterrupt:
         pass
     finally:
+        signal.signal(signal.SIGTERM, previous)
+        snapshot = service.drain(timeout=60.0)
+        print(json.dumps({"event": "drained", **snapshot}),
+              file=sys.stderr, flush=True)
         service.close()
     return 0
 

@@ -21,16 +21,51 @@ pickle boundary in process mode and a JSON boundary in ``vxserve``.
 
 from __future__ import annotations
 
+import contextlib
 import hashlib
+import multiprocessing
 import os
 import threading
 from collections import OrderedDict
 
 #: Open archives kept per worker; beyond this the least-recently-used is
-#: closed so a long-running service touching many archives stays bounded.
+#: closed so a long-running service touching many workers stays bounded.
 MAX_CACHED_ARCHIVES = 8
 
 _STATE = threading.local()
+
+
+def in_worker() -> bool:
+    """Is the current thread executing a pool shard right now?
+
+    The flag is set for the duration of :func:`run_extract_shard` /
+    :func:`run_check_shard` only.  The containment layer consults it to
+    decide whether a simulated worker kill should crash the shard (so pool
+    crash recovery handles it) or be recorded as one contained member
+    failure (the serial path).
+    """
+    return getattr(_STATE, "in_worker", False)
+
+
+def in_process_worker() -> bool:
+    """Is this code running in a child process of a process pool?
+
+    Distinguishes the two worker flavours for the kill-worker fault: a
+    process worker can die for real (``os._exit``), a thread worker shares
+    the caller's process and must simulate the death by raising instead.
+    """
+    return multiprocessing.current_process().name != "MainProcess"
+
+
+@contextlib.contextmanager
+def _worker_scope():
+    """Mark the current thread as running a pool shard."""
+    previous = getattr(_STATE, "in_worker", False)
+    _STATE.in_worker = True
+    try:
+        yield
+    finally:
+        _STATE.in_worker = previous
 
 
 def _archives() -> OrderedDict:
@@ -70,7 +105,8 @@ def _options_key(options):
             repr(options.limits), options.reuse.value, options.chunk_size,
             options.superblock_limit, options.chain_fragments,
             options.code_cache_limit, options.verify_images,
-            options.analysis_elision, registry_key)
+            options.analysis_elision, options.on_error, options.retries,
+            options.member_deadline, repr(options.fault_plan), registry_key)
 
 
 def _acquire_archive(source: dict, options):
@@ -102,6 +138,20 @@ def _acquire_archive(source: dict, options):
     return archive
 
 
+def _evict_archive(source: dict, options) -> None:
+    """Drop this worker's cached archive for ``(source, options)``, if any.
+
+    Crash retries run the suspect member against a pristine VM *and* a
+    pristine :class:`~repro.api.session.DecoderSession`: evicting the cached
+    archive forces :func:`_acquire_archive` to reopen it from scratch, so no
+    session state from the crashed attempt can influence the retry.
+    """
+    key = (_source_key(source), _options_key(options))
+    archive = _archives().pop(key, None)
+    if archive is not None:
+        archive.close()
+
+
 def shutdown_worker() -> None:
     """Close this worker's cached archives.
 
@@ -126,18 +176,30 @@ def run_extract_shard(payload: dict) -> dict:
     Payload keys: ``source`` (``{"path": ...}`` or ``{"data": ...}``),
     ``options`` (:class:`~repro.api.options.ReadOptions`), ``names`` (the
     shard's members, already in the scheduler's cache-friendly order),
-    ``directory``, ``mode``, ``force_decode``.
+    ``directory``, ``mode``, ``force_decode``; plus the containment
+    layer's ``worker`` (shard worker id stamped onto failure records) and
+    ``fresh`` (crash retry: reopen the archive so the member runs against
+    a pristine VM and session).
     """
-    archive = _acquire_archive(payload["source"], payload["options"])
-    before = archive.session.stats.as_dict()
-    records = archive.extract_into(
-        payload["directory"],
-        names=payload["names"],
-        mode=payload.get("mode"),
-        force_decode=payload.get("force_decode"),
-        jobs=1,
-    )
-    after = archive.session.stats.as_dict()
+    with _worker_scope():
+        if payload.get("fresh"):
+            _evict_archive(payload["source"], payload["options"])
+        archive = _acquire_archive(payload["source"], payload["options"])
+        before = archive.session.stats.as_dict()
+        report = archive.extract_into(
+            payload["directory"],
+            names=payload["names"],
+            mode=payload.get("mode"),
+            force_decode=payload.get("force_decode"),
+            jobs=1,
+        )
+        after = archive.session.stats.as_dict()
+    worker = payload.get("worker")
+    failures = []
+    for failure in report.failures:
+        record = failure.as_dict()
+        record["worker"] = worker
+        failures.append(record)
     return {
         "records": [
             {
@@ -148,8 +210,9 @@ def run_extract_shard(payload: dict) -> dict:
                 "decoded": record.decoded,
                 "codec_name": record.codec_name,
             }
-            for record in records
+            for record in report
         ],
+        "failures": failures,
         "stats": _stats_delta(before, after),
     }
 
@@ -163,13 +226,16 @@ def run_check_shard(payload: dict) -> dict:
     """
     from repro.core.policy import VmReusePolicy
 
-    archive = _acquire_archive(payload["source"], payload["options"])
-    reuse = payload.get("reuse")
-    report = archive.check(
-        reuse=VmReusePolicy(reuse) if reuse is not None else None,
-        names=payload["names"],
-        jobs=1,
-    )
+    with _worker_scope():
+        if payload.get("fresh"):
+            _evict_archive(payload["source"], payload["options"])
+        archive = _acquire_archive(payload["source"], payload["options"])
+        reuse = payload.get("reuse")
+        report = archive.check(
+            reuse=VmReusePolicy(reuse) if reuse is not None else None,
+            names=payload["names"],
+            jobs=1,
+        )
     return {
         "checked": report.checked,
         "passed": report.passed,

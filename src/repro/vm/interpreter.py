@@ -13,7 +13,10 @@ into cached fragments.  The interpreter here exists for two reasons:
 
 from __future__ import annotations
 
+from time import monotonic
+
 from repro.errors import (
+    DeadlineExceeded,
     DivisionFault,
     IllegalInstructionFault,
     ResourceLimitExceeded,
@@ -24,6 +27,12 @@ from repro.isa.opcodes import Op
 from repro.vm.syscalls import ACTION_EXIT
 
 _MASK = 0xFFFFFFFF
+
+#: Instructions between wall-clock deadline checks.  The interpreter runs
+#: on the order of a hundred thousand guest instructions per second, so
+#: this costs one comparison per instruction and bounds deadline overshoot
+#: to tens of milliseconds.
+DEADLINE_CHECK_INTERVAL = 10_000
 
 
 def _signed(value: int) -> int:
@@ -42,6 +51,8 @@ def run_interpreter(vm) -> None:
     text_start = vm.text_start
     text_end = vm.text_end
     budget = vm.limits_in_effect.max_instructions
+    deadline = vm.deadline
+    check_at = DEADLINE_CHECK_INTERVAL if deadline is not None else None
     executed = 0
     pc = vm.pc
 
@@ -51,6 +62,14 @@ def run_interpreter(vm) -> None:
                 raise ResourceLimitExceeded(
                     f"decoder exceeded its instruction budget ({budget})"
                 )
+            if check_at is not None and executed >= check_at:
+                if monotonic() >= deadline:
+                    raise DeadlineExceeded(
+                        "decoder exceeded its wall-clock deadline",
+                        deadline=vm.limits_in_effect.max_wall_seconds,
+                        instructions=executed,
+                    )
+                check_at = executed + DEADLINE_CHECK_INTERVAL
             if not text_start <= pc < text_end:
                 raise IllegalInstructionFault(
                     f"execution left the code segment: pc=0x{pc:08x}"

@@ -29,6 +29,12 @@ class ExecutionLimits:
         max_fragments: ceiling on distinct translated code fragments, which
             bounds translation-cache memory for adversarial self-modifying
             control flow.
+        max_wall_seconds: wall-clock deadline for one decoder run.  The
+            engines piggyback a cheap time check on their existing fuel
+            checks, so a decoder wedged in a loop raises
+            :class:`~repro.errors.DeadlineExceeded` within one check
+            quantum of the deadline instead of burning its whole (huge)
+            instruction budget.  ``None`` (default) disables the check.
     """
 
     max_instructions: int | None = 2_000_000_000
@@ -36,6 +42,7 @@ class ExecutionLimits:
     max_stderr_bytes: int = 1 << 16
     max_memory_bytes: int = 64 << 20
     max_fragments: int = 1 << 20
+    max_wall_seconds: float | None = None
 
     def scaled_for_input(self, input_size: int) -> "ExecutionLimits":
         """Derive limits proportional to the encoded input size.
@@ -58,6 +65,7 @@ class ExecutionLimits:
             max_stderr_bytes=self.max_stderr_bytes,
             max_memory_bytes=self.max_memory_bytes,
             max_fragments=self.max_fragments,
+            max_wall_seconds=self.max_wall_seconds,
         )
 
 

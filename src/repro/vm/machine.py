@@ -10,6 +10,7 @@ reuse-vs-reinitialise policy for decoding several streams with one decoder
 
 from __future__ import annotations
 
+import time
 from dataclasses import dataclass
 
 from repro.elf.reader import parse_executable
@@ -113,6 +114,9 @@ class VirtualMachine:
         self.halted = False
         self.icount = 0
         self.stats = ExecutionStats()
+        #: Monotonic wall-clock deadline for the current run (armed by
+        #: :meth:`run` from ``max_wall_seconds``); ``None`` disables it.
+        self.deadline: float | None = None
         self.syscall_handler: SyscallHandler | None = None
         self.text_start = 0
         self.text_end = 0
@@ -200,8 +204,14 @@ class VirtualMachine:
     # -- execution ------------------------------------------------------------
 
     def attach_streams(self, streams: StreamSet, on_done=None,
-                       limits: ExecutionLimits | None = None) -> None:
-        """Bind stdin/stdout/stderr for the next run."""
+                       limits: ExecutionLimits | None = None,
+                       fault_syscall: int | None = None) -> None:
+        """Bind stdin/stdout/stderr for the next run.
+
+        ``fault_syscall`` is the fault-injection hook: raise an
+        :class:`~repro.errors.InjectedFault` at the guest's Nth virtual
+        system call (``None`` in production).
+        """
         self.stats = ExecutionStats()
         self.syscall_handler = SyscallHandler(
             self.memory,
@@ -209,6 +219,7 @@ class VirtualMachine:
             self.stats,
             streams,
             on_done=on_done,
+            fault_at=fault_syscall,
         )
 
     def run(self) -> int:
@@ -221,6 +232,8 @@ class VirtualMachine:
         if self.syscall_handler is None:
             raise VxaError("attach_streams() must be called before run()")
         self._active_limits = self.syscall_handler._limits
+        wall = self._active_limits.max_wall_seconds
+        self.deadline = (time.monotonic() + wall) if wall else None
         engine = _ENGINES[self.engine]
         engine(self)
         code = self.syscall_handler.exit_code
@@ -238,6 +251,7 @@ class VirtualMachine:
         *,
         limits: ExecutionLimits | None = None,
         fresh: bool = True,
+        fault_syscall: int | None = None,
     ) -> DecodeResult:
         """Decode one encoded stream and return the decoder's output.
 
@@ -248,6 +262,8 @@ class VirtualMachine:
             fresh: when true (the safe default), the sandbox is re-initialised
                 before decoding; when false, the existing sandbox and fragment
                 cache are reused (faster, see section 2.4 for the trade-off).
+            fault_syscall: fault-injection hook -- fail the run at the Nth
+                virtual system call (``None`` in production).
         """
         if fresh:
             self.reset()
@@ -255,7 +271,8 @@ class VirtualMachine:
             self._restart()
         run_limits = limits or self.limits.scaled_for_input(len(encoded))
         streams = StreamSet.from_bytes(encoded)
-        self.attach_streams(streams, limits=run_limits)
+        self.attach_streams(streams, limits=run_limits,
+                            fault_syscall=fault_syscall)
         exit_code = self.run()
         return DecodeResult(
             output=streams.stdout.getvalue(),

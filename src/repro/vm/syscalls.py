@@ -18,7 +18,7 @@ import io
 from dataclasses import dataclass
 from typing import Callable
 
-from repro.errors import ResourceLimitExceeded, SyscallFault
+from repro.errors import InjectedFault, ResourceLimitExceeded, SyscallFault
 from repro.isa.opcodes import FD_STDERR, FD_STDIN, FD_STDOUT, Vxcall
 from repro.vm.limits import ExecutionLimits, ExecutionStats
 from repro.vm.memory import GuestMemory
@@ -66,6 +66,9 @@ class SyscallHandler:
         on_done: callback invoked when the guest issues ``done``; it should
             rebind ``streams`` to the next encoded stream and return ``True``,
             or return ``False`` if no further streams are available.
+        fault_at: fault-injection hook (:mod:`repro.faults`): raise
+            :class:`~repro.errors.InjectedFault` when the guest issues its
+            Nth (1-based) virtual system call.  ``None`` in production.
     """
 
     def __init__(
@@ -75,6 +78,7 @@ class SyscallHandler:
         stats: ExecutionStats,
         streams: StreamSet,
         on_done: Callable[[], bool] | None = None,
+        fault_at: int | None = None,
     ):
         self._memory = memory
         self._limits = limits
@@ -82,6 +86,8 @@ class SyscallHandler:
         self.streams = streams
         self._on_done = on_done
         self._stderr_bytes = 0
+        self._fault_at = fault_at
+        self._dispatched = 0
         self.exit_code: int | None = None
 
     # -- dispatch ------------------------------------------------------------
@@ -96,6 +102,12 @@ class SyscallHandler:
             call = Vxcall(number)
         except ValueError:
             raise SyscallFault(f"unknown virtual system call number {number}") from None
+        self._dispatched += 1
+        if self._fault_at is not None and self._dispatched == self._fault_at:
+            raise InjectedFault(
+                f"injected fault at virtual system call #{self._dispatched} "
+                f"({call.name.lower()})"
+            )
         self._stats.record_syscall(call.name.lower())
         if call is Vxcall.EXIT:
             self.exit_code = _signed(arg1)

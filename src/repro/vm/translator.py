@@ -62,9 +62,11 @@ from __future__ import annotations
 import struct
 import threading
 from dataclasses import dataclass
+from time import monotonic
 from typing import Callable
 
 from repro.errors import (
+    DeadlineExceeded,
     DivisionFault,
     IllegalInstructionFault,
     InvalidInstructionError,
@@ -126,10 +128,39 @@ def _memory_fault(address: int, size: int, kind: str):
     raise MemoryFault(address, size, kind)
 
 
+#: Instructions between wall-clock deadline checks when one is armed.  The
+#: generated fragments and the dispatcher already compare ``vm.icount``
+#: against ``vm.budget`` on every fragment exit and loop back-edge; with a
+#: deadline active, ``vm.budget`` is lowered to a rolling *checkpoint* so
+#: those very comparisons bring execution into :func:`_budget_exceeded`
+#: about every quantum, where the (comparatively expensive) time check
+#: runs.  Fragment source text is untouched, preserving the process-wide
+#: compile memo.
+DEADLINE_CHECK_INTERVAL = 250_000
+
+
 def _budget_exceeded(vm):
-    raise ResourceLimitExceeded(
-        f"decoder exceeded its instruction budget ({vm.budget})"
-    )
+    """Fragment/dispatcher budget stop: hard limit, deadline, or checkpoint.
+
+    Reached whenever ``vm.icount > vm.budget``.  With no deadline armed,
+    ``vm.budget`` *is* the hard instruction budget and this always raises.
+    With a deadline armed, ``vm.budget`` is a rolling checkpoint below the
+    hard budget: enforce the hard budget, then the wall clock, then slide
+    the checkpoint forward and resume.
+    """
+    hard = getattr(vm, "hard_budget", vm.budget)
+    if vm.icount > hard:
+        raise ResourceLimitExceeded(
+            f"decoder exceeded its instruction budget ({hard})"
+        )
+    deadline = vm.deadline
+    if deadline is not None and monotonic() >= deadline:
+        raise DeadlineExceeded(
+            "decoder exceeded its wall-clock deadline",
+            deadline=vm.limits_in_effect.max_wall_seconds,
+            instructions=vm.icount,
+        )
+    vm.budget = min(hard, vm.icount + DEADLINE_CHECK_INTERVAL)
 
 
 #: Packers/unpackers for inlined guest memory access.  ``unpack_from`` and
@@ -785,7 +816,13 @@ def run_translator(vm) -> None:
     budget = limits.max_instructions
     if budget is None:
         budget = float("inf")
-    vm.budget = budget
+    vm.hard_budget = budget
+    # With a deadline armed, vm.budget becomes a rolling checkpoint (see
+    # _budget_exceeded); otherwise it is the hard budget, exactly as before.
+    if vm.deadline is None:
+        vm.budget = budget
+    else:
+        vm.budget = min(budget, DEADLINE_CHECK_INTERVAL)
     max_fragments = limits.max_fragments
     # Analysis-driven guard elision: only with a clean report whose proofs
     # cover the live sandbox (memory growth is monotone, so the size check
@@ -870,10 +907,8 @@ def run_translator(vm) -> None:
                 else:
                     pc = ret.entry
                 break
-            if vm.icount > budget:
-                raise ResourceLimitExceeded(
-                    f"decoder exceeded its instruction budget ({budget})"
-                )
+            if vm.icount > vm.budget:
+                _budget_exceeded(vm)
             if ret.__class__ is int:
                 if ret >= 0:
                     # Indirect branch: the one remaining hash lookup.

@@ -1,0 +1,317 @@
+"""End-to-end salvage from genuinely hostile archives.
+
+Where :mod:`tests.test_faults` injects failures through the
+:class:`~repro.faults.FaultPlan` hooks, this suite builds archives whose
+*embedded guest decoders* misbehave on their own: an infinite-loop decoder,
+an out-of-bounds-store decoder, and a member whose stored payload has been
+corrupted by byte surgery on the archive file.  ``--keep-going`` must
+extract every well-behaved member byte-identically anyway, at any job
+count, on both engines, and ``vxserve`` must survive serving the archive.
+"""
+
+from __future__ import annotations
+
+import io
+import pathlib
+import time
+
+import pytest
+
+import repro.api as vxa
+from repro.api.archive import Archive
+from repro.api.builder import ArchiveBuilder
+from repro.api.options import EXECUTOR_THREAD, ReadOptions, WriteOptions
+from repro.codecs.base import Codec, CodecInfo
+from repro.codecs.registry import CodecRegistry
+from repro.errors import DeadlineExceeded
+from tests.conftest import build_asm
+
+# First payload byte steers the trap decoder.
+SPIN = 0xAA      # wedge in an infinite loop
+SMASH = 0xBB     # out-of-bounds store -> MemoryFault
+
+GOOD = {
+    "good0.txt": b"alpha " * 200,
+    "good1.txt": b"bravo " * 300,
+    "good2.txt": b"charlie " * 150,
+}
+HOSTILE = {"spin.bin", "smash.bin", "corrupt.bin"}
+
+# A recognisable run we can find (and vandalise) in the raw archive bytes;
+# the trap codec stores payloads verbatim, so it appears literally.
+CORRUPT_MARKER = b"\x01CORRUPTION-TARGET-0123456789"
+
+
+class TrapCodec(Codec):
+    """Identity codec whose *guest* decoder misbehaves on marked payloads.
+
+    The native encoder stores payloads verbatim, so the archived bytes are
+    the member content -- which both lets the guest branch on the first
+    payload byte and lets tests corrupt a member with ``bytes.find`` on
+    the finished archive.
+    """
+
+    info = CodecInfo(
+        name="trap",
+        description="identity codec with a booby-trapped guest decoder",
+        availability="tests only",
+        output_format="raw data",
+        category="general",
+        lossy=False,
+    )
+
+    def encode(self, data: bytes, **options) -> bytes:
+        return data
+
+    def decode(self, data: bytes) -> bytes:
+        return data
+
+    def can_encode(self, data: bytes) -> bool:
+        return True
+
+    @property
+    def magic(self) -> bytes:
+        return b"TRP0"
+
+    def guest_units(self):  # pragma: no cover - image built from asm below
+        raise NotImplementedError("trap decoder is assembled, not compiled")
+
+    def guest_decoder_image(self) -> bytes:
+        return _trap_image()
+
+
+_TRAP_IMAGE: bytes | None = None
+
+
+def _trap_image() -> bytes:
+    global _TRAP_IMAGE
+    if _TRAP_IMAGE is None:
+        _TRAP_IMAGE = build_asm(
+            f"""
+            ; echo stdin to stdout -- unless the first byte asks for trouble:
+            ;   0x{SPIN:02x} -> spin forever   0x{SMASH:02x} -> out-of-bounds store
+            _start:
+                movi r0, 1            ; READ
+                movi r1, 0            ; stdin
+                movi r2, buffer
+                movi r3, 4096
+                vxcall
+                mov  r4, r0           ; n = bytes read
+                movi r5, buffer
+                ld8u r6, [r5+0]
+                cmpi r6, {SPIN}
+                je   spin
+                cmpi r6, {SMASH}
+                je   smash
+                mov  r3, r4           ; count = n
+                movi r0, 2            ; WRITE
+                movi r1, 1            ; stdout
+                movi r2, buffer
+                vxcall
+                movi r0, 0            ; EXIT
+                movi r1, 0
+                vxcall
+            spin:
+                jmp  spin
+            smash:
+                movi r1, 0x7fffff00   ; far outside any sandbox
+                st32 [r1+0], r0
+                jmp  smash
+            .data
+            buffer:
+                .space 4096
+            """
+        )
+    return _TRAP_IMAGE
+
+
+def _build_hostile_archive() -> bytes:
+    registry = CodecRegistry([TrapCodec()], default="trap")
+    buffer = io.BytesIO()
+    with ArchiveBuilder(buffer, WriteOptions(registry=registry)) as builder:
+        for name, data in GOOD.items():
+            builder.add(name, data, codec="trap")
+        builder.add("spin.bin", bytes([SPIN]) + b"wedge " * 64,
+                    codec="trap")
+        builder.add("smash.bin", bytes([SMASH]) + b"stomp " * 64,
+                    codec="trap")
+        builder.add("corrupt.bin", CORRUPT_MARKER + b"x" * 500,
+                    codec="trap")
+        builder.finish()
+    payload = buffer.getvalue()
+    # Byte surgery: flip one bit inside corrupt.bin's stored payload.  The
+    # identity encoding guarantees the marker appears verbatim exactly once.
+    at = payload.find(CORRUPT_MARKER)
+    assert at >= 0 and payload.find(CORRUPT_MARKER, at + 1) < 0
+    target = at + len(CORRUPT_MARKER) + 100
+    return payload[:target] + bytes([payload[target] ^ 0x40]) + payload[target + 1:]
+
+
+@pytest.fixture(scope="module")
+def hostile_archive(tmp_path_factory) -> pathlib.Path:
+    path = tmp_path_factory.mktemp("hostile") / "hostile.zip"
+    path.write_bytes(_build_hostile_archive())
+    return path
+
+
+def _salvage_options(engine="translator", **overrides) -> ReadOptions:
+    base = dict(mode=vxa.MODE_VXA, engine=engine,
+                on_error=vxa.ON_ERROR_QUARANTINE, member_deadline=0.75)
+    base.update(overrides)
+    return ReadOptions(**base)
+
+
+def _assert_salvaged(report, out_dir):
+    assert {record.name for record in report} == set(GOOD)
+    assert {failure.name for failure in report.failures} == HOSTILE
+    assert sorted(report.quarantined) == sorted(HOSTILE)
+    for name, data in GOOD.items():
+        assert (out_dir / name).read_bytes() == data
+    assert not list(out_dir.glob("*.vxa-partial"))
+    by_name = {failure.name: failure for failure in report.failures}
+    assert by_name["spin.bin"].error_type == "DeadlineExceeded"
+    assert by_name["smash.bin"].error_type == "MemoryFault"
+    assert by_name["corrupt.bin"].error_type == "IntegrityError"
+
+
+# -- API-level salvage matrix ------------------------------------------------------
+
+
+@pytest.mark.parametrize("engine", ["translator", "interpreter"])
+def test_serial_salvage_of_hostile_archive(hostile_archive, tmp_path, engine):
+    with vxa.open(hostile_archive, _salvage_options(engine)) as archive:
+        report = archive.extract_into(tmp_path)
+    _assert_salvaged(report, tmp_path)
+
+
+@pytest.mark.parametrize("engine", ["translator", "interpreter"])
+@pytest.mark.parametrize("jobs", [2, 4])
+def test_parallel_salvage_of_hostile_archive(hostile_archive, tmp_path,
+                                             jobs, engine):
+    options = _salvage_options(engine, jobs=jobs, executor="thread")
+    with vxa.open(hostile_archive, options) as archive:
+        report = archive.extract_into(tmp_path)
+    _assert_salvaged(report, tmp_path)
+
+
+def test_process_salvage_of_hostile_archive(hostile_archive, tmp_path):
+    options = _salvage_options(jobs=2, executor="process")
+    with vxa.open(hostile_archive, options) as archive:
+        report = archive.extract_into(tmp_path)
+    _assert_salvaged(report, tmp_path)
+
+
+@pytest.mark.parametrize("engine", ["translator", "interpreter"])
+def test_deadline_terminates_wedged_guest_promptly(hostile_archive, engine):
+    options = ReadOptions(mode=vxa.MODE_VXA, engine=engine,
+                          member_deadline=0.5)
+    with vxa.open(hostile_archive, options) as archive:
+        started = time.monotonic()
+        with pytest.raises(DeadlineExceeded):
+            archive.extract("spin.bin")
+        elapsed = time.monotonic() - started
+    # One check quantum of slack on top of the deadline, not a whole
+    # instruction budget's worth of spinning.
+    assert elapsed < 10.0
+
+
+def test_check_reports_hostile_members(hostile_archive):
+    with vxa.open(hostile_archive, _salvage_options()) as archive:
+        report = archive.check()
+    assert not report.ok
+    assert report.checked == len(GOOD) + len(HOSTILE)
+    assert report.passed == len(GOOD)
+    failed = {failure.split(":", 1)[0] for failure in report.failures}
+    assert failed == HOSTILE
+
+
+# -- CLI: vxunzip --keep-going -----------------------------------------------------
+
+
+@pytest.mark.parametrize("jobs", [1, 2, 4])
+def test_cli_keep_going_salvages_good_members(hostile_archive, tmp_path,
+                                              capsys, jobs):
+    from repro.cli import unzip_main
+
+    out = tmp_path / "out"
+    code = unzip_main([
+        "extract", str(hostile_archive), "-o", str(out), "--vxa",
+        "--keep-going", "--member-deadline", "0.75", "-j", str(jobs),
+    ])
+    assert code == 1  # failures present -> non-zero, but salvage happened
+    for name, data in GOOD.items():
+        assert (out / name).read_bytes() == data
+    assert not (out / "spin.bin").exists()
+    captured = capsys.readouterr()
+    assert "quarantined" in captured.err
+    assert "3 failed" in captured.err
+
+
+def test_cli_abort_is_still_the_default(hostile_archive, tmp_path):
+    from repro.cli import unzip_main
+
+    code = unzip_main([
+        "extract", str(hostile_archive), "-o", str(tmp_path), "--vxa",
+        "--member-deadline", "0.75",
+    ])
+    assert code == 2  # VxaError surfaced as a CLI error
+
+
+# -- vxserve keeps serving while hostile requests die at their deadline ------------
+
+
+@pytest.fixture()
+def clean_archive(tmp_path_factory) -> pathlib.Path:
+    path = tmp_path_factory.mktemp("clean-served") / "clean.zip"
+    with vxa.create(path) as builder:
+        for name, data in GOOD.items():
+            builder.add(name, data)
+    return path
+
+
+def test_vxserve_survives_hostile_archive(hostile_archive, clean_archive,
+                                          tmp_path):
+    from repro.parallel.service import BatchService
+
+    service = BatchService(jobs=2, executor=EXECUTOR_THREAD,
+                           request_timeout=1.0)
+    try:
+        hostile_dest = tmp_path / "hostile-out"
+        response = service.handle({
+            "id": 1, "op": "extract", "archive": str(hostile_archive),
+            "dest": str(hostile_dest), "mode": "vxa",
+            "on_error": "quarantine", "jobs": 2,
+        })
+        assert response["ok"], response
+        result = response["result"]
+        assert {record["name"] for record in result["records"]} == set(GOOD)
+        assert {failure["name"] for failure in result["failures"]} == HOSTILE
+        for name, data in GOOD.items():
+            assert (hostile_dest / name).read_bytes() == data
+
+        # The service is still healthy: control plane answers, and a clean
+        # archive extracts fully.
+        assert service.handle({"id": 2, "op": "ping"})["ok"]
+        clean_dest = tmp_path / "clean-out"
+        response = service.handle({
+            "id": 3, "op": "extract", "archive": str(clean_archive),
+            "dest": str(clean_dest), "jobs": 2,
+        })
+        assert response["ok"], response
+        for name, data in GOOD.items():
+            assert (clean_dest / name).read_bytes() == data
+
+        # Drain: finishes outstanding work, then refuses new archive work
+        # while the control plane stays responsive.
+        response = service.handle({"id": 4, "op": "drain"})
+        assert response["ok"]
+        assert response["result"]["drained"] is True
+        refused = service.handle({
+            "id": 5, "op": "extract", "archive": str(clean_archive),
+            "dest": str(tmp_path / "refused"),
+        })
+        assert not refused["ok"]
+        assert "drain" in refused["error"]
+        assert service.handle({"id": 6, "op": "stats"})["ok"]
+    finally:
+        service.close()
