@@ -1,0 +1,306 @@
+"""vxserve under concurrent clients; writes ``BENCH_serve.json``.
+
+Stand-alone perf tracker for the overload-safe service layer (run from the
+repo root)::
+
+    PYTHONPATH=src python benchmarks/bench_serve.py [--smoke]
+
+Three scenarios against a real :class:`BatchService` on a unix socket
+(thread executor -- the in-process flavour CI can afford):
+
+* **throughput** -- closed-loop ``check`` requests from 1..N concurrent
+  clients; records req/s and p50/p99 latency per client count.
+* **overload** -- more clients than execution slots against a small gate,
+  once with a one-shot client (counting structured sheds) and once with
+  the retrying client (which must complete every request).
+* **gate overhead** -- serial request latency with the admission gate
+  effectively off (unbounded) vs on (bounded + queue), to price the
+  admission bookkeeping on the uncontended path; the target is <5%.
+
+Decoder VMs are CPU-bound pure Python, so on a single-core box concurrent
+clients mostly interleave rather than overlap -- the JSON says so instead
+of inventing scaling numbers.  ``--smoke`` is the CI entry point: tiny
+archive, few requests, hard correctness assertions.
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import os
+import pathlib
+import platform
+import shutil
+import sys
+import tempfile
+import threading
+import time
+
+REPO_ROOT = pathlib.Path(__file__).resolve().parents[1]
+if str(REPO_ROOT / "src") not in sys.path:
+    sys.path.insert(0, str(REPO_ROOT / "src"))
+
+import repro.api as vxa                                            # noqa: E402
+from repro.api.options import EXECUTOR_THREAD                      # noqa: E402
+from repro.client import VxServeClient, VxServeError               # noqa: E402
+from repro.parallel.service import BatchService                    # noqa: E402
+from repro.workloads import synthetic_log_bytes                    # noqa: E402
+
+OUTPUT_PATH = REPO_ROOT / "BENCH_serve.json"
+
+
+def build_archive(path: pathlib.Path, *, smoke: bool) -> dict:
+    members = 3 if smoke else 5
+    size = 600 if smoke else 1_500
+    with vxa.create(path) as builder:
+        for index in range(members):
+            builder.add(f"serve{index}.txt",
+                        synthetic_log_bytes(size + 37 * index, seed=index),
+                        codec="vxz")
+    return {"members": members, "archive_bytes": path.stat().st_size}
+
+
+def percentile(samples: list[float], fraction: float) -> float:
+    ordered = sorted(samples)
+    index = min(len(ordered) - 1, int(round(fraction * (len(ordered) - 1))))
+    return ordered[index]
+
+
+class Served:
+    """One BatchService on a fresh unix socket, torn down on close()."""
+
+    def __init__(self, work_dir: pathlib.Path, tag: str, **service_kwargs):
+        service_kwargs.setdefault("jobs", 2)
+        service_kwargs.setdefault("executor", EXECUTOR_THREAD)
+        self.service = BatchService(**service_kwargs)
+        self.socket_path = str(work_dir / f"{tag}.sock")
+        self._thread = threading.Thread(
+            target=self.service.serve_socket, args=(self.socket_path,),
+            daemon=True)
+        self._thread.start()
+        deadline = time.monotonic() + 10
+        while not os.path.exists(self.socket_path):
+            if time.monotonic() > deadline:
+                raise SystemExit("FATAL: vxserve socket never appeared")
+            time.sleep(0.01)
+
+    def close(self) -> None:
+        self.service._stopping.set()
+        self.service.close()
+        self._thread.join(timeout=2)
+
+
+def closed_loop(socket_path: str, archive: str, clients: int,
+                requests_each: int, *, retries: int = 8) -> dict:
+    """``clients`` threads each issue ``requests_each`` check requests."""
+    latencies: list[list[float]] = [[] for _ in range(clients)]
+    errors: list[str] = []
+
+    def worker(index: int) -> None:
+        with VxServeClient(socket_path, client_id=f"bench{index}",
+                           retries=retries, base_delay=0.01, max_delay=0.2,
+                           timeout=120) as client:
+            for _ in range(requests_each):
+                start = time.perf_counter()
+                try:
+                    result = client.check(archive)
+                except VxServeError as error:
+                    errors.append(repr(error))
+                    return
+                latencies[index].append(time.perf_counter() - start)
+                if not result["ok"]:
+                    errors.append(f"check reported failure: {result}")
+                    return
+
+    threads = [threading.Thread(target=worker, args=(index,))
+               for index in range(clients)]
+    started = time.perf_counter()
+    for thread in threads:
+        thread.start()
+    for thread in threads:
+        thread.join()
+    elapsed = time.perf_counter() - started
+    if errors:
+        raise SystemExit(f"FATAL: bench client failed: {errors[0]}")
+    flat = [sample for series in latencies for sample in series]
+    return {
+        "clients": clients,
+        "requests": len(flat),
+        "elapsed_seconds": round(elapsed, 4),
+        "requests_per_second": round(len(flat) / elapsed, 2),
+        "p50_seconds": round(percentile(flat, 0.50), 4),
+        "p99_seconds": round(percentile(flat, 0.99), 4),
+    }
+
+
+def bench_throughput(work_dir: pathlib.Path, archive: str, *,
+                     smoke: bool) -> list[dict]:
+    client_counts = [1, 2] if smoke else [1, 4]
+    requests_each = 4 if smoke else 20
+    served = Served(work_dir, "throughput", max_inflight=8, queue_depth=16)
+    try:
+        # Warm the pool's decoder sessions out of the measurements.
+        closed_loop(served.socket_path, archive, 1, 2)
+        return [closed_loop(served.socket_path, archive, clients,
+                            requests_each)
+                for clients in client_counts]
+    finally:
+        served.close()
+
+
+def bench_overload(work_dir: pathlib.Path, archive: str, *,
+                   smoke: bool) -> dict:
+    clients = 4 if smoke else 6
+    requests_each = 3 if smoke else 8
+    served = Served(work_dir, "overload", max_inflight=2, queue_depth=1,
+                    queue_timeout=0.05)
+    try:
+        # One-shot clients: everything past the gate+queue is shed, and
+        # every shed is a structured response, never a dropped connection.
+        shed = completed = 0
+        lock = threading.Lock()
+
+        def one_shot_worker(index: int) -> None:
+            nonlocal shed, completed
+            with VxServeClient(served.socket_path, retries=0,
+                               client_id=f"oneshot{index}",
+                               timeout=120) as client:
+                for _ in range(requests_each):
+                    try:
+                        client.check(archive)
+                        with lock:
+                            completed += 1
+                    except VxServeError as error:
+                        if error.code != "overloaded":
+                            raise SystemExit(
+                                f"FATAL: unexpected rejection {error!r}")
+                        with lock:
+                            shed += 1
+
+        threads = [threading.Thread(target=one_shot_worker, args=(index,))
+                   for index in range(clients)]
+        started = time.perf_counter()
+        for thread in threads:
+            thread.start()
+        for thread in threads:
+            thread.join()
+        one_shot_elapsed = time.perf_counter() - started
+        total = clients * requests_each
+        if shed + completed != total:
+            raise SystemExit("FATAL: lost responses under overload")
+
+        # The retrying client rides out the same overload and completes
+        # every request.
+        retry_run = closed_loop(served.socket_path, archive, clients,
+                                requests_each, retries=20)
+        stats = served.service.handle({"op": "stats"})["result"]
+        return {
+            "max_inflight": 2,
+            "queue_depth": 1,
+            "clients": clients,
+            "requests_per_client": requests_each,
+            "one_shot": {
+                "completed": completed,
+                "shed_overloaded": shed,
+                "elapsed_seconds": round(one_shot_elapsed, 4),
+            },
+            "retrying": retry_run,
+            "service_counters": {
+                name: stats["counters"][name]
+                for name in ("shed_overloaded_total", "queued_total",
+                             "admitted_total", "completed_total")
+            },
+        }
+    finally:
+        served.close()
+
+
+def bench_gate_overhead(work_dir: pathlib.Path, archive: str, *,
+                        smoke: bool) -> dict:
+    requests = 10 if smoke else 40
+    means = {}
+    for tag, kwargs in (("gate_off", {"max_inflight": None}),
+                        ("gate_on", {"max_inflight": 8, "queue_depth": 16})):
+        served = Served(work_dir, tag, **kwargs)
+        try:
+            closed_loop(served.socket_path, archive, 1, 2)  # warm-up
+            run = closed_loop(served.socket_path, archive, 1, requests)
+            means[tag] = run["elapsed_seconds"] / run["requests"]
+        finally:
+            served.close()
+    overhead = (means["gate_on"] - means["gate_off"]) / means["gate_off"]
+    return {
+        "requests": requests,
+        "mean_seconds_gate_off": round(means["gate_off"], 5),
+        "mean_seconds_gate_on": round(means["gate_on"], 5),
+        "overhead_fraction": round(overhead, 4),
+        "target": "under 0.05 on the uncontended path",
+    }
+
+
+def run_benchmark(*, smoke: bool) -> dict:
+    cpu_count = os.cpu_count() or 1
+    work_dir = pathlib.Path(tempfile.mkdtemp(prefix="bench-serve-"))
+    try:
+        archive_path = work_dir / "serve-bench.zip"
+        archive_info = build_archive(archive_path, smoke=smoke)
+        archive = str(archive_path)
+        report = {
+            "benchmark": "vxserve under concurrent clients (repro.client)",
+            "generated": time.strftime("%Y-%m-%dT%H:%M:%S"),
+            "smoke": smoke,
+            "platform": {
+                "python": platform.python_version(),
+                "machine": platform.machine(),
+                "cpu_count": cpu_count,
+            },
+            "executor": EXECUTOR_THREAD,
+            "archive": archive_info,
+            "throughput": bench_throughput(work_dir, archive, smoke=smoke),
+            "overload": bench_overload(work_dir, archive, smoke=smoke),
+            "gate_overhead": bench_gate_overhead(work_dir, archive,
+                                                 smoke=smoke),
+        }
+        if cpu_count < 2:
+            report["note"] = (
+                f"{cpu_count} core(s): decoder work is CPU-bound pure "
+                f"Python, so concurrent clients interleave rather than "
+                f"overlap; req/s figures measure the service and admission "
+                f"path, not hardware scaling")
+        return report
+    finally:
+        shutil.rmtree(work_dir, ignore_errors=True)
+
+
+def main(argv: list[str] | None = None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument("--smoke", action="store_true",
+                        help="tiny workload + hard assertions (CI)")
+    parser.add_argument("--output", default=str(OUTPUT_PATH),
+                        help="where to write the JSON report")
+    args = parser.parse_args(argv)
+
+    report = run_benchmark(smoke=args.smoke)
+    output = pathlib.Path(args.output)
+    output.write_text(json.dumps(report, indent=2) + "\n")
+
+    for run in report["throughput"]:
+        print(f"clients={run['clients']}: {run['requests_per_second']} req/s "
+              f"p50 {run['p50_seconds']}s p99 {run['p99_seconds']}s")
+    overload = report["overload"]
+    print(f"overload one-shot: {overload['one_shot']['completed']} completed, "
+          f"{overload['one_shot']['shed_overloaded']} shed (structured)")
+    print(f"overload retrying: {overload['retrying']['requests']} requests, "
+          f"all completed")
+    gate = report["gate_overhead"]
+    print(f"gate overhead: {gate['overhead_fraction'] * 100:.1f}% "
+          f"({gate['mean_seconds_gate_off']}s -> "
+          f"{gate['mean_seconds_gate_on']}s per request)")
+    if "note" in report:
+        print(f"note: {report['note']}")
+    print(f"wrote {output}")
+    return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

@@ -46,6 +46,7 @@ from repro.api import (
     create,
     open,
 )
+from repro.client import VxServeClient, VxServeError
 from repro.errors import (
     ArchiveError,
     CodecError,
@@ -73,6 +74,8 @@ __all__ = [
     "MODE_AUTO",
     "MODE_NATIVE",
     "MODE_VXA",
+    "VxServeClient",
+    "VxServeError",
     "VxaError",
     "ArchiveError",
     "CodecError",

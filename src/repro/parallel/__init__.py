@@ -19,7 +19,12 @@ archive file itself.  This package exploits that:
   per worker,
 * :mod:`~repro.parallel.service` is ``vxserve``: a long-running batch
   service (JSON-lines over stdio or a unix socket) multiplexing
-  extract/check requests for many archives onto one shared worker pool.
+  extract/check requests for many archives onto one shared worker pool,
+* :mod:`~repro.parallel.admission` keeps ``vxserve`` overload-safe: a
+  bounded admission gate with brief queueing and structured load shedding,
+  per-client quotas, interactive/batch priorities, and per-archive circuit
+  breakers (protocol spec: ``docs/vxserve-protocol.md``; the matching
+  retrying client is :mod:`repro.client` / the ``vxquery`` script).
 
 The facade surfaces all of this as ``Archive.extract_into(..., jobs=N)``,
 ``Archive.check(jobs=N)`` and ``ReadOptions.jobs`` -- output bytes and check
@@ -29,12 +34,24 @@ serial code over its shard and the §2.4 ``VmReusePolicy`` /
 exactly as a serial session takes them.
 """
 
+from repro.parallel.admission import (
+    AdmissionGate,
+    CircuitBreaker,
+    CircuitBreakerBoard,
+    ClientQuotas,
+    ServiceRejection,
+)
 from repro.parallel.engine import parallel_check, parallel_extract_into
 from repro.parallel.pool import WorkerPool, resolve_executor
 from repro.parallel.scheduler import Scheduler, Shard
 
 __all__ = [
+    "AdmissionGate",
+    "CircuitBreaker",
+    "CircuitBreakerBoard",
+    "ClientQuotas",
     "Scheduler",
+    "ServiceRejection",
     "Shard",
     "WorkerPool",
     "resolve_executor",

@@ -1,0 +1,542 @@
+"""Admission control for ``vxserve``: backpressure, quotas, circuit breakers.
+
+PR 7 made one member's failure survivable; this module makes a *flood of
+requests* survivable -- the same graceful-degradation discipline moved up to
+the service boundary.  Three independent mechanisms compose in front of the
+shared :class:`~repro.parallel.pool.WorkerPool`:
+
+* :class:`AdmissionGate` -- a bounded concurrency gate.  At most
+  ``max_inflight`` archive-work requests execute at once; up to
+  ``queue_depth`` more wait briefly (``queue_timeout``) for a slot, and
+  everything beyond that is *shed* with a structured
+  :class:`OverloadedError` carrying a ``retry_after_seconds`` hint derived
+  from the measured mean request duration and the current backlog.  Two
+  request priorities exist: ``interactive`` requests are granted queued
+  slots first, and under pressure (a full queue) an arriving interactive
+  request evicts the newest queued ``batch`` waiter rather than being shed
+  itself -- batch work yields, it is never wedged ahead of a person.
+
+* :class:`ClientQuotas` -- a per-client in-flight cap keyed by the
+  client-supplied ``client`` id, so one greedy client cannot occupy every
+  slot of the gate.  Requests without an id share the ``"anonymous"``
+  bucket.
+
+* :class:`CircuitBreaker` (per archive, managed by
+  :class:`CircuitBreakerBoard`) -- repeated request failures against one
+  archive open its breaker; while open, requests for that archive are
+  refused immediately with :class:`CircuitOpenError` (``retry_after_seconds``
+  = remaining cool-down) instead of occupying pool workers; after
+  ``reset_timeout`` a single half-open probe is let through, and its
+  success closes the breaker again.  One hostile archive therefore cannot
+  monopolise the pool that PR 7's quarantine protects per-member.
+
+Every refusal is a :class:`ServiceRejection`: a structured error with a
+stable wire ``code`` (the protocol's ``error_code`` field -- see
+``docs/vxserve-protocol.md``) and an optional retry hint, never a dropped
+connection.  Shed or rejected requests run no guest work at all, so every
+*admitted* extraction remains byte-identical to a serial run -- extra
+concurrency only counts if results stay consistent.
+
+All classes take an injectable ``clock`` (defaulting to
+:func:`time.monotonic`) so tests can drive breaker cool-downs and retry
+hints deterministically.
+"""
+
+from __future__ import annotations
+
+import threading
+import time
+
+from repro.errors import VxaError
+
+PRIORITY_INTERACTIVE = "interactive"
+PRIORITY_BATCH = "batch"
+PRIORITIES = (PRIORITY_INTERACTIVE, PRIORITY_BATCH)
+
+_RANK = {PRIORITY_INTERACTIVE: 0, PRIORITY_BATCH: 1}
+
+#: Clients that send no ``client`` id share one quota bucket.
+ANONYMOUS_CLIENT = "anonymous"
+
+#: Seed for the mean-request-duration estimate before any request finished;
+#: only shapes the very first ``retry_after_seconds`` hints.
+_DEFAULT_DURATION = 0.1
+
+#: EWMA weight for the mean request duration feeding retry hints.
+_DURATION_ALPHA = 0.2
+
+
+# --------------------------------------------------------------------------
+# Structured refusals (the service's error taxonomy)
+# --------------------------------------------------------------------------
+
+class ServiceRejection(VxaError):
+    """The service refused a request without attempting any archive work.
+
+    ``code`` is the stable wire identifier (the JSON response's
+    ``error_code``); ``retryable`` says whether the same request may
+    succeed later against the same server (the client's retry loop keys
+    off the wire code, not this class).  ``retry_after_seconds`` is the
+    server's backoff hint, when it has one.
+    """
+
+    code = "rejected"
+    retryable = True
+
+    def __init__(self, message: str, *,
+                 retry_after_seconds: float | None = None):
+        super().__init__(message)
+        self.retry_after_seconds = retry_after_seconds
+
+
+class OverloadedError(ServiceRejection):
+    """Admission gate full and the brief wait queue is exhausted."""
+
+    code = "overloaded"
+
+
+class QuotaExceededError(ServiceRejection):
+    """The client already has its quota of requests in flight."""
+
+    code = "quota_exceeded"
+
+
+class CircuitOpenError(ServiceRejection):
+    """The target archive's circuit breaker is open (or mid-probe)."""
+
+    code = "circuit_open"
+
+
+class DrainingError(ServiceRejection):
+    """The service is draining and accepts no new archive work."""
+
+    code = "draining"
+    retryable = False
+
+
+class RequestTooLargeError(ServiceRejection):
+    """A request line exceeded the transport's size cap."""
+
+    code = "request_too_large"
+    retryable = False
+
+
+# --------------------------------------------------------------------------
+# Admission gate
+# --------------------------------------------------------------------------
+
+class _Waiter:
+    """One queued request waiting for an execution slot."""
+
+    WAITING = "waiting"
+    ADMITTED = "admitted"
+    SHED = "shed"
+
+    __slots__ = ("rank", "seq", "state")
+
+    def __init__(self, rank: int, seq: int):
+        self.rank = rank
+        self.seq = seq
+        self.state = _Waiter.WAITING
+
+
+class AdmissionGate:
+    """Bounded concurrency with a brief priority queue, then load shedding.
+
+    Args:
+        max_inflight: concurrent execution slots (``None`` = unbounded --
+            the gate still counts, never blocks or sheds).
+        queue_depth: how many requests may wait for a slot; ``0`` sheds
+            immediately once the slots are full.
+        queue_timeout: longest a queued request waits before being shed.
+        clock: monotonic time source (injectable for tests).
+
+    Thread-safe; every public method may be called from any handler thread.
+    """
+
+    def __init__(self, max_inflight: int | None = None, queue_depth: int = 0,
+                 queue_timeout: float = 0.25, *, clock=time.monotonic):
+        if max_inflight is not None and max_inflight < 1:
+            raise ValueError("max_inflight must be at least 1 (or None)")
+        if queue_depth < 0:
+            raise ValueError("queue_depth must be non-negative")
+        if queue_timeout < 0:
+            raise ValueError("queue_timeout must be non-negative")
+        self.max_inflight = max_inflight
+        self.queue_depth = queue_depth
+        self.queue_timeout = queue_timeout
+        self._clock = clock
+        self._condition = threading.Condition()
+        self._inflight = 0
+        self._waiters: list[_Waiter] = []
+        self._seq = 0
+        self._mean_duration = _DEFAULT_DURATION
+        # Monotonic counters (scrape-friendly: they only ever increase).
+        self.admitted = 0
+        self.completed = 0
+        self.queued = 0
+        self.shed_total = 0
+        self.batch_evictions = 0
+        self.peak_inflight = 0
+        self.peak_queue = 0
+
+    # -- internals (condition held) ----------------------------------------
+
+    def _take_slot(self) -> None:
+        self._inflight += 1
+        self.admitted += 1
+        self.peak_inflight = max(self.peak_inflight, self._inflight)
+
+    def _blocked_by_waiter(self, rank: int) -> bool:
+        """Queue fairness: equal-or-higher-priority waiters go first."""
+        return any(waiter.rank <= rank for waiter in self._waiters)
+
+    def _grant(self) -> None:
+        """Promote queued waiters into freed slots, best priority first."""
+        promoted = False
+        while (self._waiters and self.max_inflight is not None
+               and self._inflight < self.max_inflight):
+            waiter = self._waiters.pop(0)
+            waiter.state = _Waiter.ADMITTED
+            self._take_slot()
+            promoted = True
+        if promoted:
+            self._condition.notify_all()
+
+    def _shed(self, reason: str) -> OverloadedError:
+        self.shed_total += 1
+        return OverloadedError(
+            reason, retry_after_seconds=self.retry_hint())
+
+    # -- public API --------------------------------------------------------
+
+    def retry_hint(self) -> float:
+        """Suggested client backoff: backlog over capacity, in mean-request
+        units.  Called with or without the condition held (reads only)."""
+        backlog = self._inflight + len(self._waiters) + 1
+        capacity = self.max_inflight or max(1, self._inflight)
+        return round(max(0.05, self._mean_duration * backlog / capacity), 3)
+
+    def admit(self, priority: str = PRIORITY_INTERACTIVE) -> None:
+        """Take an execution slot, queueing briefly; sheds when saturated.
+
+        Raises :class:`OverloadedError` (with a retry hint) when the gate
+        and its queue are full, when the queue wait times out, or when this
+        is a ``batch`` request evicted by an arriving ``interactive`` one.
+        """
+        try:
+            rank = _RANK[priority]
+        except KeyError:
+            raise ValueError(
+                f"unknown priority {priority!r} (expected one of "
+                f"{', '.join(PRIORITIES)})") from None
+        with self._condition:
+            if self.max_inflight is None:
+                self._take_slot()
+                return
+            if (self._inflight < self.max_inflight
+                    and not self._blocked_by_waiter(rank)):
+                self._take_slot()
+                return
+            if len(self._waiters) >= self.queue_depth:
+                if rank == _RANK[PRIORITY_BATCH]:
+                    raise self._shed(
+                        f"overloaded: {self._inflight} in flight, "
+                        f"{len(self._waiters)} queued (batch sheds first)")
+                # Interactive under pressure: the newest queued batch
+                # request yields its queue slot rather than this one shed.
+                victim = next((waiter for waiter in reversed(self._waiters)
+                               if waiter.rank == _RANK[PRIORITY_BATCH]), None)
+                if victim is None:
+                    raise self._shed(
+                        f"overloaded: {self._inflight} in flight, queue of "
+                        f"{self.queue_depth} full")
+                self._waiters.remove(victim)
+                victim.state = _Waiter.SHED
+                self.batch_evictions += 1
+                self._condition.notify_all()
+            waiter = _Waiter(rank, self._seq)
+            self._seq += 1
+            index = next((i for i, other in enumerate(self._waiters)
+                          if (rank, waiter.seq) < (other.rank, other.seq)),
+                         len(self._waiters))
+            self._waiters.insert(index, waiter)
+            self.queued += 1
+            self.peak_queue = max(self.peak_queue, len(self._waiters))
+            deadline = self._clock() + self.queue_timeout
+            self._grant()
+            while waiter.state == _Waiter.WAITING:
+                remaining = deadline - self._clock()
+                if remaining <= 0:
+                    break
+                self._condition.wait(remaining)
+            if waiter.state == _Waiter.ADMITTED:
+                return
+            if waiter in self._waiters:
+                self._waiters.remove(waiter)
+            if waiter.state == _Waiter.SHED:
+                raise self._shed(
+                    "overloaded: batch request yielded its queue slot to "
+                    "interactive work")
+            raise self._shed(
+                f"overloaded: no execution slot freed within "
+                f"{self.queue_timeout}s")
+
+    def release(self, duration: float | None = None) -> None:
+        """Return a slot; ``duration`` feeds the retry-hint estimate."""
+        with self._condition:
+            self._inflight -= 1
+            self.completed += 1
+            if duration is not None and duration >= 0:
+                self._mean_duration += _DURATION_ALPHA * (
+                    duration - self._mean_duration)
+            self._grant()
+            self._condition.notify_all()
+
+    @property
+    def inflight(self) -> int:
+        return self._inflight
+
+    @property
+    def queue_length(self) -> int:
+        return len(self._waiters)
+
+    def snapshot(self) -> dict:
+        with self._condition:
+            return {
+                "max_inflight": self.max_inflight,
+                "queue_depth": self.queue_depth,
+                "queue_timeout": self.queue_timeout,
+                "inflight": self._inflight,
+                "queued_now": len(self._waiters),
+                "mean_request_seconds": round(self._mean_duration, 4),
+                "admitted_total": self.admitted,
+                "completed_total": self.completed,
+                "queued_total": self.queued,
+                "shed_total": self.shed_total,
+                "batch_evictions_total": self.batch_evictions,
+                "peak_inflight": self.peak_inflight,
+                "peak_queue": self.peak_queue,
+            }
+
+
+# --------------------------------------------------------------------------
+# Per-client quotas
+# --------------------------------------------------------------------------
+
+class ClientQuotas:
+    """Per-client in-flight request cap, keyed by the ``client`` id.
+
+    ``per_client=None`` disables enforcement but keeps the per-client
+    gauge, so ``stats``/``health`` can still show who is using the pool.
+    """
+
+    def __init__(self, per_client: int | None = None):
+        if per_client is not None and per_client < 1:
+            raise ValueError("per_client must be at least 1 (or None)")
+        self.per_client = per_client
+        self._lock = threading.Lock()
+        self._inflight: dict[str, int] = {}
+        self.rejections = 0
+
+    def acquire(self, client: str) -> None:
+        with self._lock:
+            count = self._inflight.get(client, 0)
+            if self.per_client is not None and count >= self.per_client:
+                self.rejections += 1
+                raise QuotaExceededError(
+                    f"client {client!r} already has {count} request(s) in "
+                    f"flight (quota {self.per_client})",
+                    retry_after_seconds=0.1)
+            self._inflight[client] = count + 1
+
+    def release(self, client: str) -> None:
+        with self._lock:
+            count = self._inflight.get(client, 0) - 1
+            if count > 0:
+                self._inflight[client] = count
+            else:
+                self._inflight.pop(client, None)
+
+    def snapshot(self) -> dict:
+        with self._lock:
+            return {
+                "per_client": self.per_client,
+                "inflight_by_client": dict(self._inflight),
+                "rejections_total": self.rejections,
+            }
+
+
+# --------------------------------------------------------------------------
+# Circuit breakers
+# --------------------------------------------------------------------------
+
+STATE_CLOSED = "closed"
+STATE_OPEN = "open"
+STATE_HALF_OPEN = "half-open"
+
+
+class CircuitBreaker:
+    """Failure breaker for one archive: closed -> open -> half-open -> closed.
+
+    Not itself thread-safe -- :class:`CircuitBreakerBoard` serialises all
+    access under its lock.  ``threshold`` consecutive failures trip it;
+    after ``reset_timeout`` seconds one probe request is admitted, and its
+    outcome decides between closing and re-opening.
+    """
+
+    def __init__(self, threshold: int = 5, reset_timeout: float = 30.0, *,
+                 clock=time.monotonic):
+        self.threshold = threshold
+        self.reset_timeout = reset_timeout
+        self._clock = clock
+        self.state = STATE_CLOSED
+        self.failures = 0
+        self.trips = 0
+        self.rejections = 0
+        self._opened_at: float | None = None
+        self._probe_inflight = False
+
+    def check(self) -> None:
+        """Gate one request; raises :class:`CircuitOpenError` when open.
+
+        A successful return while half-open *claims the probe slot*: the
+        caller must follow up with :meth:`record_success` or
+        :meth:`record_failure`.
+        """
+        if self.state == STATE_OPEN:
+            elapsed = self._clock() - self._opened_at
+            if elapsed < self.reset_timeout:
+                self.rejections += 1
+                raise CircuitOpenError(
+                    f"circuit open after {self.failures} consecutive "
+                    f"failure(s); retry when the cool-down ends",
+                    retry_after_seconds=round(self.reset_timeout - elapsed,
+                                              3))
+            self.state = STATE_HALF_OPEN
+            self._probe_inflight = False
+        if self.state == STATE_HALF_OPEN:
+            if self._probe_inflight:
+                self.rejections += 1
+                raise CircuitOpenError(
+                    "circuit half-open with a probe already in flight",
+                    retry_after_seconds=0.1)
+            self._probe_inflight = True
+
+    def record_success(self) -> None:
+        self.state = STATE_CLOSED
+        self.failures = 0
+        self._opened_at = None
+        self._probe_inflight = False
+
+    def record_failure(self) -> None:
+        if self.state == STATE_HALF_OPEN:
+            self._probe_inflight = False
+            self._trip()
+            return
+        self.failures += 1
+        if self.failures >= self.threshold:
+            self._trip()
+
+    def _trip(self) -> None:
+        self.state = STATE_OPEN
+        self._opened_at = self._clock()
+        self.trips += 1
+
+    def snapshot(self) -> dict:
+        entry = {
+            "state": self.state,
+            "failures": self.failures,
+            "trips_total": self.trips,
+            "rejections_total": self.rejections,
+        }
+        if self.state == STATE_OPEN and self._opened_at is not None:
+            remaining = self.reset_timeout - (self._clock() - self._opened_at)
+            entry["retry_after_seconds"] = round(max(0.0, remaining), 3)
+        return entry
+
+
+class CircuitBreakerBoard:
+    """All per-archive breakers, keyed by the requested archive path.
+
+    ``threshold=0`` (or ``None``) disables breakers entirely -- every
+    check passes and nothing is recorded.  Thread-safe.
+    """
+
+    def __init__(self, threshold: int | None = 5,
+                 reset_timeout: float = 30.0, *, clock=time.monotonic):
+        self.threshold = threshold or 0
+        self.reset_timeout = reset_timeout
+        self._clock = clock
+        self._lock = threading.Lock()
+        self._breakers: dict[str, CircuitBreaker] = {}
+
+    @property
+    def enabled(self) -> bool:
+        return self.threshold > 0
+
+    def check(self, archive: str | None) -> str | None:
+        """Gate a request against ``archive``; returns the breaker key the
+        caller must later :meth:`record` an outcome for (``None`` when
+        breakers are disabled or the request names no archive)."""
+        if not self.enabled or archive is None:
+            return None
+        key = str(archive)
+        with self._lock:
+            breaker = self._breakers.get(key)
+            if breaker is None:
+                breaker = self._breakers[key] = CircuitBreaker(
+                    self.threshold, self.reset_timeout, clock=self._clock)
+            breaker.check()
+        return key
+
+    def record(self, key: str | None, *, ok: bool) -> None:
+        if key is None or not self.enabled:
+            return
+        with self._lock:
+            breaker = self._breakers.get(key)
+            if breaker is None:
+                return
+            if ok:
+                breaker.record_success()
+            else:
+                breaker.record_failure()
+
+    def snapshot(self) -> dict:
+        with self._lock:
+            return {key: breaker.snapshot()
+                    for key, breaker in self._breakers.items()}
+
+    def totals(self) -> dict:
+        with self._lock:
+            return {
+                "breaker_trips_total": sum(
+                    breaker.trips for breaker in self._breakers.values()),
+                "breaker_rejections_total": sum(
+                    breaker.rejections
+                    for breaker in self._breakers.values()),
+                "breakers_open": sum(
+                    1 for breaker in self._breakers.values()
+                    if breaker.state != STATE_CLOSED),
+            }
+
+
+__all__ = [
+    "ANONYMOUS_CLIENT",
+    "AdmissionGate",
+    "CircuitBreaker",
+    "CircuitBreakerBoard",
+    "CircuitOpenError",
+    "ClientQuotas",
+    "DrainingError",
+    "OverloadedError",
+    "PRIORITIES",
+    "PRIORITY_BATCH",
+    "PRIORITY_INTERACTIVE",
+    "QuotaExceededError",
+    "RequestTooLargeError",
+    "ServiceRejection",
+    "STATE_CLOSED",
+    "STATE_HALF_OPEN",
+    "STATE_OPEN",
+]

@@ -143,6 +143,20 @@ class WorkerPool:
         return ThreadPoolExecutor(max_workers=self.jobs,
                                   thread_name_prefix="vxa-worker")
 
+    def alive_workers(self) -> int | None:
+        """Live OS worker processes, or ``None`` for thread pools.
+
+        Thread workers share this process and cannot die independently, so
+        there is nothing to count.  Process counts come from the executor's
+        worker table; workers are spawned lazily, so ``0`` before the first
+        submission is normal, not a failure.  ``vxserve``'s ``health`` op
+        surfaces this as pool liveness.
+        """
+        if self.kind != EXECUTOR_PROCESS:
+            return None
+        processes = getattr(self._executor, "_processes", None) or {}
+        return sum(1 for process in processes.values() if process.is_alive())
+
     def respawn(self) -> None:
         """Replace a broken executor with a fresh one of the same shape.
 

@@ -1,0 +1,339 @@
+"""Unit tests for :mod:`repro.parallel.admission`.
+
+The gate, quota and breaker mechanics are exercised in isolation here (the
+breaker against an injected fake clock, the gate against real-but-short
+waits); ``tests/test_serve_chaos.py`` drives the same machinery end-to-end
+through the ``vxserve`` socket under concurrent load.
+"""
+
+from __future__ import annotations
+
+import threading
+import time
+
+import pytest
+
+from repro.parallel.admission import (
+    AdmissionGate,
+    CircuitBreaker,
+    CircuitBreakerBoard,
+    CircuitOpenError,
+    ClientQuotas,
+    OverloadedError,
+    PRIORITY_BATCH,
+    PRIORITY_INTERACTIVE,
+    QuotaExceededError,
+    STATE_CLOSED,
+    STATE_HALF_OPEN,
+    STATE_OPEN,
+)
+
+
+def wait_until(predicate, timeout: float = 5.0, interval: float = 0.005):
+    deadline = time.monotonic() + timeout
+    while time.monotonic() < deadline:
+        if predicate():
+            return
+        time.sleep(interval)
+    raise AssertionError("condition never became true")
+
+
+class FakeClock:
+    def __init__(self, now: float = 0.0):
+        self.now = now
+
+    def __call__(self) -> float:
+        return self.now
+
+    def advance(self, seconds: float) -> None:
+        self.now += seconds
+
+
+# -- AdmissionGate -------------------------------------------------------------
+
+
+def test_unbounded_gate_counts_but_never_sheds():
+    gate = AdmissionGate(None)
+    for _ in range(100):
+        gate.admit()
+    assert gate.inflight == 100
+    assert gate.admitted == 100
+    for _ in range(100):
+        gate.release(0.01)
+    assert gate.inflight == 0
+    assert gate.completed == 100
+
+
+def test_gate_sheds_beyond_cap_with_retry_hint():
+    gate = AdmissionGate(2, queue_depth=0)
+    gate.admit()
+    gate.admit()
+    with pytest.raises(OverloadedError) as caught:
+        gate.admit()
+    assert caught.value.code == "overloaded"
+    assert caught.value.retryable is True
+    assert caught.value.retry_after_seconds > 0
+    assert gate.shed_total == 1
+    gate.release()
+    gate.admit()  # freed slot is usable again
+    assert gate.admitted == 3
+
+
+def test_gate_rejects_bad_configuration_and_priority():
+    with pytest.raises(ValueError):
+        AdmissionGate(0)
+    with pytest.raises(ValueError):
+        AdmissionGate(1, queue_depth=-1)
+    gate = AdmissionGate(1)
+    with pytest.raises(ValueError):
+        gate.admit("urgent")
+
+
+def test_queued_request_is_granted_on_release():
+    gate = AdmissionGate(1, queue_depth=1, queue_timeout=5.0)
+    gate.admit()
+    admitted = []
+
+    def waiter():
+        gate.admit()
+        admitted.append(True)
+
+    thread = threading.Thread(target=waiter)
+    thread.start()
+    wait_until(lambda: gate.queue_length == 1)
+    assert not admitted
+    gate.release(0.01)
+    thread.join(timeout=5)
+    assert admitted == [True]
+    assert gate.queued == 1
+    assert gate.shed_total == 0
+    gate.release()
+
+
+def test_queue_wait_times_out_as_overloaded():
+    gate = AdmissionGate(1, queue_depth=1, queue_timeout=0.05)
+    gate.admit()
+    started = time.monotonic()
+    with pytest.raises(OverloadedError):
+        gate.admit()
+    assert time.monotonic() - started >= 0.05
+    assert gate.shed_total == 1
+    assert gate.queue_length == 0  # the shed waiter removed itself
+
+
+def test_interactive_waiter_is_granted_before_batch():
+    gate = AdmissionGate(1, queue_depth=4, queue_timeout=5.0)
+    gate.admit()
+    order: list[str] = []
+
+    def waiter(priority: str, tag: str):
+        gate.admit(priority)
+        order.append(tag)
+
+    batch = threading.Thread(target=waiter, args=(PRIORITY_BATCH, "batch"))
+    batch.start()
+    wait_until(lambda: gate.queue_length == 1)
+    interactive = threading.Thread(
+        target=waiter, args=(PRIORITY_INTERACTIVE, "interactive"))
+    interactive.start()
+    wait_until(lambda: gate.queue_length == 2)
+    gate.release()   # one slot: the interactive waiter must win it
+    wait_until(lambda: order == ["interactive"])
+    gate.release()   # now the batch waiter gets its turn
+    wait_until(lambda: order == ["interactive", "batch"])
+    batch.join(timeout=5)
+    interactive.join(timeout=5)
+    gate.release()
+
+
+def test_interactive_evicts_newest_batch_waiter_when_queue_full():
+    gate = AdmissionGate(1, queue_depth=1, queue_timeout=5.0)
+    gate.admit()
+    outcome: dict[str, object] = {}
+
+    def batch_waiter():
+        try:
+            gate.admit(PRIORITY_BATCH)
+            outcome["batch"] = "admitted"
+        except OverloadedError as error:
+            outcome["batch"] = error
+
+    def interactive_waiter():
+        gate.admit(PRIORITY_INTERACTIVE)
+        outcome["interactive"] = "admitted"
+
+    batch = threading.Thread(target=batch_waiter)
+    batch.start()
+    wait_until(lambda: gate.queue_length == 1)
+    interactive = threading.Thread(target=interactive_waiter)
+    interactive.start()
+    # The interactive arrival evicts the queued batch request outright.
+    wait_until(lambda: isinstance(outcome.get("batch"), OverloadedError))
+    assert gate.batch_evictions == 1
+    assert "yielded" in str(outcome["batch"])
+    gate.release()
+    interactive.join(timeout=5)
+    assert outcome["interactive"] == "admitted"
+    batch.join(timeout=5)
+    gate.release()
+
+
+def test_batch_is_shed_not_queued_when_queue_full():
+    gate = AdmissionGate(1, queue_depth=0, queue_timeout=5.0)
+    gate.admit()
+    with pytest.raises(OverloadedError, match="batch sheds first"):
+        gate.admit(PRIORITY_BATCH)
+    gate.release()
+
+
+def test_snapshot_reports_monotonic_counters_and_gauges():
+    gate = AdmissionGate(2, queue_depth=3, queue_timeout=0.01)
+    gate.admit()
+    snapshot = gate.snapshot()
+    assert snapshot["max_inflight"] == 2
+    assert snapshot["inflight"] == 1
+    assert snapshot["admitted_total"] == 1
+    assert snapshot["peak_inflight"] == 1
+    gate.release(0.2)
+    after = gate.snapshot()
+    assert after["completed_total"] == 1
+    assert after["mean_request_seconds"] > 0
+
+
+# -- ClientQuotas --------------------------------------------------------------
+
+
+def test_quota_caps_one_client_but_not_others():
+    quotas = ClientQuotas(2)
+    quotas.acquire("alice")
+    quotas.acquire("alice")
+    with pytest.raises(QuotaExceededError) as caught:
+        quotas.acquire("alice")
+    assert caught.value.code == "quota_exceeded"
+    quotas.acquire("bob")  # other clients unaffected
+    quotas.release("alice")
+    quotas.acquire("alice")  # freed capacity is reusable
+    assert quotas.snapshot()["inflight_by_client"] == {"alice": 2, "bob": 1}
+    assert quotas.snapshot()["rejections_total"] == 1
+
+
+def test_quota_disabled_still_tracks_gauges():
+    quotas = ClientQuotas(None)
+    for _ in range(10):
+        quotas.acquire("greedy")
+    assert quotas.snapshot()["inflight_by_client"] == {"greedy": 10}
+    for _ in range(10):
+        quotas.release("greedy")
+    assert quotas.snapshot()["inflight_by_client"] == {}
+
+
+def test_quota_release_is_safe_when_overdrawn():
+    quotas = ClientQuotas(1)
+    quotas.release("ghost")  # never acquired: must not wedge the table
+    quotas.acquire("ghost")
+    with pytest.raises(QuotaExceededError):
+        quotas.acquire("ghost")
+
+
+# -- CircuitBreaker ------------------------------------------------------------
+
+
+def test_breaker_opens_after_threshold_and_reports_cooldown():
+    clock = FakeClock()
+    breaker = CircuitBreaker(threshold=3, reset_timeout=10.0, clock=clock)
+    for _ in range(2):
+        breaker.check()
+        breaker.record_failure()
+    assert breaker.state == STATE_CLOSED
+    breaker.check()
+    breaker.record_failure()   # third consecutive failure trips it
+    assert breaker.state == STATE_OPEN
+    assert breaker.trips == 1
+    clock.advance(4.0)
+    with pytest.raises(CircuitOpenError) as caught:
+        breaker.check()
+    assert caught.value.code == "circuit_open"
+    assert caught.value.retry_after_seconds == pytest.approx(6.0, abs=0.01)
+
+
+def test_breaker_success_resets_consecutive_failures():
+    breaker = CircuitBreaker(threshold=3, clock=FakeClock())
+    for _ in range(2):
+        breaker.check()
+        breaker.record_failure()
+    breaker.check()
+    breaker.record_success()
+    assert breaker.failures == 0
+    for _ in range(2):
+        breaker.check()
+        breaker.record_failure()
+    assert breaker.state == STATE_CLOSED  # the run restarted from zero
+
+
+def test_breaker_half_open_probe_single_flight_and_close():
+    clock = FakeClock()
+    breaker = CircuitBreaker(threshold=1, reset_timeout=5.0, clock=clock)
+    breaker.check()
+    breaker.record_failure()
+    assert breaker.state == STATE_OPEN
+    clock.advance(5.0)
+    breaker.check()            # cool-down over: this claims the probe slot
+    assert breaker.state == STATE_HALF_OPEN
+    with pytest.raises(CircuitOpenError):
+        breaker.check()        # a second request mid-probe is refused
+    breaker.record_success()   # probe healthy: breaker closes
+    assert breaker.state == STATE_CLOSED
+    breaker.check()            # and traffic flows again
+
+
+def test_breaker_half_open_probe_failure_reopens():
+    clock = FakeClock()
+    breaker = CircuitBreaker(threshold=1, reset_timeout=5.0, clock=clock)
+    breaker.check()
+    breaker.record_failure()
+    clock.advance(5.0)
+    breaker.check()
+    breaker.record_failure()   # probe failed: back to open, cool-down restarts
+    assert breaker.state == STATE_OPEN
+    assert breaker.trips == 2
+    with pytest.raises(CircuitOpenError):
+        breaker.check()
+    clock.advance(5.0)
+    breaker.check()
+    breaker.record_success()
+    assert breaker.state == STATE_CLOSED
+
+
+def test_board_keys_breakers_by_archive_and_sums_totals():
+    clock = FakeClock()
+    board = CircuitBreakerBoard(threshold=1, reset_timeout=9.0, clock=clock)
+    key = board.check("/tmp/poisoned.zip")
+    assert key == "/tmp/poisoned.zip"
+    board.record(key, ok=False)
+    with pytest.raises(CircuitOpenError):
+        board.check("/tmp/poisoned.zip")
+    board.check("/tmp/healthy.zip")   # other archives unaffected
+    board.record("/tmp/healthy.zip", ok=True)
+    snapshot = board.snapshot()
+    assert snapshot["/tmp/poisoned.zip"]["state"] == STATE_OPEN
+    assert snapshot["/tmp/poisoned.zip"]["retry_after_seconds"] > 0
+    assert snapshot["/tmp/healthy.zip"]["state"] == STATE_CLOSED
+    totals = board.totals()
+    assert totals["breaker_trips_total"] == 1
+    assert totals["breakers_open"] == 1
+    assert totals["breaker_rejections_total"] == 1
+
+
+def test_board_disabled_passes_everything():
+    board = CircuitBreakerBoard(threshold=0)
+    assert not board.enabled
+    assert board.check("/tmp/anything.zip") is None
+    board.record("/tmp/anything.zip", ok=False)
+    assert board.snapshot() == {}
+
+
+def test_board_check_without_archive_is_a_no_op():
+    board = CircuitBreakerBoard(threshold=1)
+    assert board.check(None) is None
+    board.record(None, ok=False)
+    assert board.snapshot() == {}

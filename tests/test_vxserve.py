@@ -131,6 +131,51 @@ def test_stats_accumulate_across_requests(tmp_path, service, archive_path):
     assert result["session"]["decodes"] >= 10  # check + extract both decoded
 
 
+def test_health_reports_pool_admission_and_breakers(service, archive_path):
+    service.handle({"op": "check", "archive": str(archive_path)})
+    response = service.handle({"id": 9, "op": "health"})
+    assert response["ok"]
+    result = response["result"]
+    assert result["ok"] is True
+    assert result["accepting"] is True and result["draining"] is False
+    assert result["inflight"] == 0 and result["queue_depth"] == 0
+    assert result["uptime_seconds"] >= 0
+    assert result["admission"]["completed_total"] == 1
+    assert result["pool"]["jobs"] == 2
+    assert result["pool"]["executor"] == EXECUTOR_THREAD
+    breaker = result["breakers"][str(archive_path)]
+    assert breaker["state"] == "closed" and breaker["failures"] == 0
+
+
+def test_stats_counters_are_monotonic(tmp_path, service, archive_path):
+    """The ``counters`` block must only ever increase -- it is scraped as
+    Prometheus-style counter series."""
+    def scrape() -> dict:
+        return service.handle({"op": "stats"})["result"]["counters"]
+
+    before = scrape()
+    service.handle({"op": "check", "archive": str(archive_path)})
+    service.handle({"op": "extract", "archive": str(archive_path),
+                    "dest": str(tmp_path / "mono"), "mode": "vxa"})
+    after = scrape()
+    assert set(before) == set(after)
+    for name, value in after.items():
+        assert value >= before[name], name
+    assert after["requests_total"] >= before["requests_total"] + 2
+    assert after["admitted_total"] == before["admitted_total"] + 2
+    assert after["completed_total"] == before["completed_total"] + 2
+    assert after["session_decodes_total"] > before["session_decodes_total"]
+
+
+def test_uptime_uses_monotonic_clock(service, monkeypatch):
+    """A wall-clock step (NTP, DST) must not corrupt uptime."""
+    import time as time_module
+    first = service.handle({"op": "ping"})["result"]["uptime_seconds"]
+    monkeypatch.setattr(time_module, "time", lambda: 0.0)  # wall clock rewinds
+    second = service.handle({"op": "ping"})["result"]["uptime_seconds"]
+    assert second >= first >= 0
+
+
 def test_rewritten_archive_is_not_served_stale(tmp_path, service):
     """Replacing an archive at the same path must invalidate worker caches."""
     path = tmp_path / "mutable.zip"
