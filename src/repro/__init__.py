@@ -39,6 +39,8 @@ from repro.api import (
     MODE_AUTO,
     MODE_NATIVE,
     MODE_VXA,
+    ON_DAMAGE_REJECT,
+    ON_DAMAGE_SALVAGE,
     ReadOptions,
     SecurityAttributes,
     VmReusePolicy,
@@ -48,6 +50,7 @@ from repro.api import (
 )
 from repro.client import VxServeClient, VxServeError
 from repro.errors import (
+    ArchiveDamagedError,
     ArchiveError,
     CodecError,
     DecoderMissingError,
@@ -74,9 +77,12 @@ __all__ = [
     "MODE_AUTO",
     "MODE_NATIVE",
     "MODE_VXA",
+    "ON_DAMAGE_REJECT",
+    "ON_DAMAGE_SALVAGE",
     "VxServeClient",
     "VxServeError",
     "VxaError",
+    "ArchiveDamagedError",
     "ArchiveError",
     "CodecError",
     "DecoderMissingError",

@@ -42,6 +42,8 @@ from repro.api.options import (
     EXECUTOR_AUTO,
     EXECUTOR_PROCESS,
     EXECUTOR_THREAD,
+    ON_DAMAGE_REJECT,
+    ON_DAMAGE_SALVAGE,
     ON_ERROR_ABORT,
     ON_ERROR_QUARANTINE,
     ON_ERROR_SKIP,
@@ -90,6 +92,8 @@ __all__ = [
     "ON_ERROR_ABORT",
     "ON_ERROR_SKIP",
     "ON_ERROR_QUARANTINE",
+    "ON_DAMAGE_REJECT",
+    "ON_DAMAGE_SALVAGE",
     "safe_extract_path",
 ]
 
@@ -115,9 +119,25 @@ def create(target, options: WriteOptions | None = None) -> ArchiveBuilder:
     """Start building a vxZIP archive.
 
     ``target`` may be a filesystem path (created and owned by the returned
-    :class:`ArchiveBuilder`) or a writable binary file object.
+    :class:`ArchiveBuilder`) or a writable binary file object.  Path targets
+    default to the crash-consistent finalize (``WriteOptions.durable``):
+    the archive is built in a temp file next to its destination and only
+    renamed into place -- fsynced -- once complete, so a crash mid-build
+    can never leave a torn archive under the target name.
     """
+    options = options or WriteOptions()
     if isinstance(target, (str, os.PathLike)):
+        if options.durable:
+            final_path = os.fspath(target)
+            temp_path = f"{final_path}.vxa-tmp.{os.getpid()}"
+            file = builtins.open(temp_path, "wb")
+            try:
+                return ArchiveBuilder(file, options, owns_file=True,
+                                      final_path=final_path, temp_path=temp_path)
+            except BaseException:
+                file.close()
+                os.unlink(temp_path)
+                raise
         file = builtins.open(target, "wb")
         try:
             return ArchiveBuilder(file, options, owns_file=True)

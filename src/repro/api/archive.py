@@ -26,6 +26,7 @@ from repro.core.archive_reader import (
     MODE_VXA,
 )
 from repro.core.extension import VxaExtension, parse_extension, parse_unix_extra
+from repro.core.fsutil import fsync_directory, fsync_file
 from repro.core.policy import SecurityAttributes, VmReusePolicy
 from repro.errors import (
     ArchiveError,
@@ -41,7 +42,12 @@ from repro.zipformat.crc import crc32
 from repro.zipformat.reader import ZipReader
 from repro.zipformat.structures import METHOD_STORE, METHOD_VXA, ZipEntry
 
-from repro.api.options import ON_ERROR_ABORT, ON_ERROR_QUARANTINE, ReadOptions
+from repro.api.options import (
+    ON_DAMAGE_SALVAGE,
+    ON_ERROR_ABORT,
+    ON_ERROR_QUARANTINE,
+    ReadOptions,
+)
 from repro.api.session import DecoderSession
 
 
@@ -251,7 +257,11 @@ class Archive:
         #: the parallel engine ships the raw bytes instead.
         self._source_path = (pathlib.Path(source_path)
                              if source_path is not None else None)
-        self._zip = ZipReader(file)
+        # Under on_damage="salvage" a torn or corrupt container is opened
+        # anyway: the member directory is reconstructed from local headers
+        # and damaged members surface per-member instead of at open.
+        self._salvaging = self.options.on_damage == ON_DAMAGE_SALVAGE
+        self._zip = ZipReader(file, salvage=self._salvaging)
         self._registry = self.options.registry or default_registry()
         self._limits = self.options.limits or ExecutionLimits()
         if self.options.member_deadline is not None:
@@ -271,6 +281,10 @@ class Archive:
             verify_images=self.options.verify_images,
             analysis_elision=self.options.analysis_elision,
         )
+        if self._zip.directory_reconstructed:
+            self._session.stats.directory_reconstructed += 1
+        if self._zip.commit_verified:
+            self._session.stats.commit_record_verified += 1
         self._closed = False
 
     # -- lifecycle ------------------------------------------------------------
@@ -422,6 +436,7 @@ class Archive:
                 self, directory, wanted, jobs,
                 mode=mode, force_decode=force_decode)
         on_error = self.options.on_error
+        durable = self.options.durable_output
         report = ExtractionReport()
         for name, target in targets:
             entry = self._zip.find(name)
@@ -433,6 +448,9 @@ class Archive:
                 # Stream into a temporary sibling and rename on success, so
                 # an error mid-member (CRC mismatch, truncation, decoder
                 # fault) never leaves a partial file under the final name.
+                # ``durable_output`` additionally fsyncs the data before the
+                # rename (and the directory after), so a machine crash right
+                # after extraction cannot leave a renamed-but-empty file.
                 partial = target.with_name(target.name + ".vxa-partial")
                 written = 0
                 try:
@@ -440,10 +458,14 @@ class Archive:
                         for chunk in chunks:
                             sink.write(chunk)
                             written += len(chunk)
+                        if durable:
+                            fsync_file(sink)
                 except BaseException:
                     partial.unlink(missing_ok=True)
                     raise
                 partial.replace(target)
+                if durable:
+                    fsync_directory(target.parent)
             except VxaError as error:
                 if isinstance(error, WorkerCrashed) and _in_pool_worker():
                     # An injected worker kill must *crash the worker*, not
@@ -451,7 +473,10 @@ class Archive:
                     # layer under test.  (A real process kill never reaches
                     # this handler at all.)
                     raise
-                if on_error == ON_ERROR_ABORT:
+                if on_error == ON_ERROR_ABORT and not self._salvaging:
+                    # Under on_damage="salvage" media damage is contained
+                    # per-member even for abort callers: salvaging exists
+                    # precisely to get the healthy members out.
                     raise
                 report.failures.append(self._member_failure(entry, error))
                 continue
@@ -463,11 +488,20 @@ class Archive:
                 decoded=decoded,
                 codec_name=codec_name,
             ))
+        if self._salvaging and (self._zip.directory_reconstructed
+                                or report.failures):
+            # Members extracted out of damaged media: the load-bearing
+            # success metric of the salvage path.
+            self._session.stats.members_salvaged += len(report)
         return report
 
     def _member_failure(self, entry: ZipEntry, error: Exception) -> MemberFailure:
         """Record one contained member failure (salvage bookkeeping)."""
-        extension = parse_extension(entry.extra)
+        try:
+            extension = parse_extension(entry.extra)
+        except ArchiveError:
+            # Damaged extras must not crash failure bookkeeping itself.
+            extension = None
         return MemberFailure(
             name=entry.name,
             error_type=type(error).__name__,
@@ -478,6 +512,27 @@ class Archive:
         )
 
     # -- integrity ------------------------------------------------------------
+
+    def media(self):
+        """Media-level damage assessment of this archive's bytes.
+
+        Returns a :class:`~repro.core.integrity.MediaAssessment`: per-member
+        ``intact``/``suspect``/``lost`` verdicts from the digest table / CRCs,
+        without running any decoders.  ``vxunzip check --deep`` is this.
+        """
+        from repro.core.integrity import assess_media
+
+        return assess_media(self._file)
+
+    @property
+    def directory_reconstructed(self) -> bool:
+        """True when this open had to rebuild the directory from local headers."""
+        return self._zip.directory_reconstructed
+
+    @property
+    def commit_verified(self) -> bool:
+        """True when the archive's commit record matched its central directory."""
+        return self._zip.commit_verified
 
     def check(self, *, reuse: VmReusePolicy | None = None,
               jobs: int | None = None,

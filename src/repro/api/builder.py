@@ -11,6 +11,8 @@ and tag the member with the reserved VXA method.
 
 from __future__ import annotations
 
+import contextlib
+import os
 import pathlib
 
 from repro.codecs.base import Codec
@@ -18,13 +20,20 @@ from repro.codecs.registry import default_registry
 from repro.core.archive_writer import ArchivedFileInfo, ArchiveManifest
 from repro.core.decoder_store import DecoderStore, StoredDecoder
 from repro.core.extension import VxaExtension, pack_unix_extra
+from repro.core.fsutil import fsync_directory, fsync_file
 from repro.core.policy import SecurityAttributes
 from repro.errors import ArchiveError
+from repro.faults.media import TornFinalize
 from repro.zipformat.crc import crc32
 from repro.zipformat.structures import METHOD_STORE, METHOD_VXA
 from repro.zipformat.writer import ZipWriter
 
-from repro.api.options import WriteOptions
+from repro.api.options import (
+    FINALIZE_FAULT_MID_DIRECTORY,
+    FINALIZE_FAULT_PRE_FSYNC,
+    FINALIZE_FAULT_PRE_RENAME,
+    WriteOptions,
+)
 
 
 class ArchiveBuilder:
@@ -38,16 +47,26 @@ class ArchiveBuilder:
     """
 
     def __init__(self, file, options: WriteOptions | None = None, *,
-                 owns_file: bool = False):
+                 owns_file: bool = False, final_path=None, temp_path=None):
         self.options = options or WriteOptions()
         self._file = file
         self._owns_file = owns_file
+        # Durable path-backed builds write to ``temp_path`` and atomically
+        # rename onto ``final_path`` at close; both stay ``None`` for
+        # caller-supplied sinks (see :func:`repro.api.create`).
+        self._final_path = pathlib.Path(final_path) if final_path is not None else None
+        self._temp_path = pathlib.Path(temp_path) if temp_path is not None else None
         self._registry = self.options.registry or default_registry()
         self._zip = ZipWriter(sink=file)
         self._decoders = DecoderStore(self._zip)
         self._manifest = ArchiveManifest()
         self._finished = False
         self._closed = False
+
+    @property
+    def temp_path(self):
+        """Temp file a durable build is writing to (``None`` otherwise)."""
+        return self._temp_path
 
     # -- adding files ----------------------------------------------------------
 
@@ -187,7 +206,8 @@ class ArchiveBuilder:
         """Write the central directory and EOCD; return the manifest."""
         if self._finished:
             raise ArchiveError("archive already finalised")
-        self._zip.finish(self.options.comment if comment is None else comment)
+        self._zip.finish(self.options.comment if comment is None else comment,
+                         commit=self.options.commit_record)
         self._finished = True
         self._manifest.decoders = self._decoders.stored
         self._manifest.archive_size = self._zip.total_size
@@ -202,14 +222,46 @@ class ArchiveBuilder:
         return self._finished
 
     def close(self) -> None:
-        """Finalise (if needed) and release the sink when the builder owns it."""
+        """Finalise (if needed) and release the sink when the builder owns it.
+
+        Durable path-backed builds complete the crash-consistency sequence
+        here: flush + fsync the temp file, atomically rename it onto the
+        destination, then fsync the parent directory.  A crash anywhere in
+        that sequence leaves either the old destination state or the fully
+        committed new archive -- never a torn one.
+        """
         if self._closed:
             return
         if not self._finished:
             self.finish()
         self._closed = True
-        if self._owns_file:
+        if self._final_path is not None:
+            self._durable_finalize()
+        elif self._owns_file:
             self._file.close()
+
+    def _durable_finalize(self) -> None:
+        fault = self.options.finalize_fault
+        file = self._file
+        if fault == FINALIZE_FAULT_MID_DIRECTORY:
+            # Simulate the writeback stopping halfway through the central
+            # directory: members are on disk, the directory is torn and the
+            # EOCD never made it.
+            file.flush()
+            tear_at = self._zip.directory_offset + max(1, self._zip.directory_size // 2)
+            file.truncate(tear_at)
+            file.close()
+            raise TornFinalize("simulated crash mid central-directory write")
+        if fault == FINALIZE_FAULT_PRE_FSYNC:
+            file.flush()
+            file.close()
+            raise TornFinalize("simulated crash before output fsync")
+        fsync_file(file)
+        file.close()
+        if fault == FINALIZE_FAULT_PRE_RENAME:
+            raise TornFinalize("simulated crash before atomic rename")
+        os.replace(self._temp_path, self._final_path)
+        fsync_directory(self._final_path.parent)
 
     def __enter__(self) -> "ArchiveBuilder":
         return self
@@ -217,5 +269,14 @@ class ArchiveBuilder:
     def __exit__(self, exc_type, exc, tb) -> None:
         if exc_type is None:
             self.close()
-        elif self._owns_file:
-            self._file.close()
+            return
+        if self._owns_file:
+            with contextlib.suppress(OSError, ValueError):
+                self._file.close()
+        # An abandoned durable build must not leave its temp file around --
+        # except after an injected torn finalize, where the temp *is* the
+        # simulated crash state the chaos suite inspects.
+        if (self._temp_path is not None and not isinstance(exc, TornFinalize)
+                and self._temp_path.exists()):
+            with contextlib.suppress(OSError):
+                self._temp_path.unlink()

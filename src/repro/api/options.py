@@ -35,6 +35,18 @@ ON_ERROR_SKIP = "skip"
 ON_ERROR_QUARANTINE = "quarantine"
 _ON_ERROR = (ON_ERROR_ABORT, ON_ERROR_SKIP, ON_ERROR_QUARANTINE)
 
+#: Media-damage policies (``ReadOptions.on_damage``).
+ON_DAMAGE_REJECT = "reject"
+ON_DAMAGE_SALVAGE = "salvage"
+_ON_DAMAGE = (ON_DAMAGE_REJECT, ON_DAMAGE_SALVAGE)
+
+#: Torn-finalize fault injection points (``WriteOptions.finalize_fault``).
+FINALIZE_FAULT_PRE_FSYNC = "pre-fsync"
+FINALIZE_FAULT_PRE_RENAME = "pre-rename"
+FINALIZE_FAULT_MID_DIRECTORY = "mid-directory"
+_FINALIZE_FAULTS = (FINALIZE_FAULT_PRE_FSYNC, FINALIZE_FAULT_PRE_RENAME,
+                    FINALIZE_FAULT_MID_DIRECTORY)
+
 
 @dataclass(frozen=True)
 class ReadOptions:
@@ -99,6 +111,20 @@ class ReadOptions:
         fault_plan: deterministic fault-injection plan
             (:class:`~repro.faults.FaultPlan`) consulted by the read path's
             chaos hooks; ``None`` (production) makes every hook a no-op.
+        on_damage: what archive *media* damage does to the session --
+            ``"reject"`` (default: a torn or corrupt container raises
+            :class:`~repro.errors.ArchiveDamagedError`/``ZipFormatError``
+            at open) or ``"salvage"`` (reconstruct the directory by
+            scanning local headers, extract healthy members byte-identically
+            and route damaged ones through the
+            :class:`~repro.api.archive.ExtractionReport` as per-member
+            failures, mirroring what ``on_error`` does for failing
+            decoders).
+        durable_output: fsync extracted files (and their directory) before
+            the temp-to-final rename in :meth:`Archive.extract_into`, so a
+            crash right after extraction cannot leave renamed-but-empty
+            output files.  Default on; disable for bulk scratch extractions
+            where speed beats durability.
     """
 
     mode: str = MODE_AUTO
@@ -119,6 +145,8 @@ class ReadOptions:
     retries: int = 1
     member_deadline: float | None = None
     fault_plan: FaultPlan | None = None
+    on_damage: str = ON_DAMAGE_REJECT
+    durable_output: bool = True
 
     def __post_init__(self):
         if self.mode not in _MODES:
@@ -148,6 +176,8 @@ class ReadOptions:
         if self.fault_plan is not None and not isinstance(self.fault_plan,
                                                           FaultPlan):
             raise TypeError("fault_plan must be a FaultPlan")
+        if self.on_damage not in _ON_DAMAGE:
+            raise ValueError(f"unknown on_damage policy {self.on_damage!r}")
 
     def with_changes(self, **changes) -> "ReadOptions":
         """A copy of these options with some fields replaced."""
@@ -166,12 +196,37 @@ class WriteOptions:
             the storage-overhead ablation; archives become undecodable by
             codec-ignorant readers).
         comment: ZIP end-of-central-directory comment.
+        durable: crash-consistent finalize for path-backed builds -- the
+            archive is written to a temp file next to its destination, the
+            file and its parent directory are fsynced, and only then is it
+            atomically renamed into place.  A crash at any point leaves
+            either the complete old state or the complete new archive,
+            never a torn one.  Ignored for caller-supplied sinks (sockets,
+            in-memory buffers), which have no rename to make atomic.
+        commit_record: append the end-of-archive commit record (per-extent
+            SHA-256 digest table + commit marker,
+            :mod:`repro.zipformat.commit`) at finalize.  Backward
+            compatible -- plain ZIP readers see only comment bytes and one
+            more hidden pseudo-file.  Disable only for interop ablations.
+        finalize_fault: deterministic torn-finalize injection point for the
+            chaos suite -- ``"pre-fsync"`` / ``"pre-rename"`` abort the
+            durable finalize before the respective step, ``"mid-directory"``
+            truncates the temp file halfway through the central directory
+            first.  ``None`` (production) injects nothing.
     """
 
     registry: CodecRegistry | None = None
     allow_lossy: bool = False
     attach_decoders: bool = True
     comment: bytes = b"vxZIP archive"
+    durable: bool = True
+    commit_record: bool = True
+    finalize_fault: str | None = None
+
+    def __post_init__(self):
+        if (self.finalize_fault is not None
+                and self.finalize_fault not in _FINALIZE_FAULTS):
+            raise ValueError(f"unknown finalize_fault {self.finalize_fault!r}")
 
     def with_changes(self, **changes) -> "WriteOptions":
         """A copy of these options with some fields replaced."""

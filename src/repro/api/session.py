@@ -53,6 +53,9 @@ class SessionStats:
     evictions: int = 0              # fragments dropped by the LRU entry cap
     guards_elided: int = 0          # bounds guards dropped on static proofs
     images_verified: int = 0        # decoder images statically analysed
+    members_salvaged: int = 0       # members extracted despite media damage
+    directory_reconstructed: int = 0  # opens that rebuilt a lost directory
+    commit_record_verified: int = 0   # opens whose commit record checked out
 
     def merge(self, other: "SessionStats") -> None:
         """Accumulate another session's counters (per-worker stats roll-up)."""

@@ -27,7 +27,7 @@ import sys
 import repro.api as vxa
 from repro.core.integrity import format_report
 from repro.core.policy import VmReusePolicy
-from repro.errors import VxaError
+from repro.errors import ArchiveDamagedError, VxaError
 
 
 def _read_options(args) -> vxa.ReadOptions:
@@ -47,6 +47,8 @@ def _read_options(args) -> vxa.ReadOptions:
         on_error=on_error,
         retries=getattr(args, "retries", 1),
         member_deadline=getattr(args, "member_deadline", None),
+        on_damage=(vxa.ON_DAMAGE_SALVAGE if getattr(args, "salvage", False)
+                   else vxa.ON_DAMAGE_REJECT),
     )
 
 
@@ -115,6 +117,11 @@ def _cmd_extract(args) -> int:
                 f"static analysis: {stats.images_verified} image(s) analysed, "
                 f"{stats.guards_elided} bounds guard(s) elided"
             )
+            print(
+                f"durability: {stats.members_salvaged} member(s) salvaged, "
+                f"{stats.directory_reconstructed} directory rebuild(s), "
+                f"{stats.commit_record_verified} commit record(s) verified"
+            )
     return 1 if report.failures else 0
 
 
@@ -159,10 +166,52 @@ def _cmd_analyze(args) -> int:
 
 
 def _cmd_check(args) -> int:
+    if getattr(args, "deep", False):
+        # Media-level verdict: operates on the raw bytes (no decoder runs),
+        # so it works even on archives too damaged to open normally.
+        # Exit codes: 0 clean / 1 salvageable / 2 unrecoverable.
+        from repro.core.integrity import format_assessment
+        from repro.repair import deep_check
+
+        assessment = deep_check(args.archive)
+        print(format_assessment(assessment))
+        return assessment.exit_code()
     with vxa.open(args.archive, _read_options(args)) as archive:
         report = archive.check()
         print(format_report(report))
     return 0 if report.ok else 1
+
+
+def _cmd_repair(args) -> int:
+    """Rebuild a clean archive from a damaged one's salvageable members."""
+    import json
+
+    from repro.repair import repair_archive
+
+    try:
+        result = repair_archive(args.archive, args.output)
+    except ArchiveDamagedError as error:
+        print(f"unrecoverable: {error}", file=sys.stderr)
+        return 2
+    if args.json:
+        print(json.dumps(result.as_dict(), indent=2))
+    else:
+        print(f"classification  : {result.classification}")
+        for region in result.regions:
+            affected = (f" (affects {', '.join(region.members)})"
+                        if region.members else "")
+            print(f"  damaged bytes {region.start}..{region.end}: "
+                  f"{region.description}{affected}")
+        for action in result.actions:
+            reason = f" -- {action.reason}" if action.reason else ""
+            print(f"  {action.name}: {action.action}{reason}")
+        if result.rebuilt:
+            print(f"rebuilt {result.output_path}: "
+                  f"{len(result.copied)} member(s) salvaged, "
+                  f"{len(result.dropped)} dropped")
+        elif args.output is None:
+            print("dry run (no --output): nothing written")
+    return result.exit_code
 
 
 def _add_containment_flags(parser) -> None:
@@ -181,6 +230,10 @@ def _add_containment_flags(parser) -> None:
     parser.add_argument("--member-deadline", type=float, default=None,
                         help="wall-clock seconds one member's decoder may "
                              "run before it is aborted (default: no limit)")
+    parser.add_argument("--salvage", action="store_true",
+                        help="tolerate media damage: reconstruct a lost "
+                             "directory, extract healthy members and report "
+                             "damaged ones instead of aborting")
 
 
 def _add_reading_commands(commands) -> None:
@@ -216,6 +269,10 @@ def _add_reading_commands(commands) -> None:
 
     check = commands.add_parser("check", help="verify the archive with its own decoders")
     check.add_argument("archive")
+    check.add_argument("--deep", action="store_true",
+                       help="media-level verdict instead of decoder runs: "
+                            "classify the bytes clean (exit 0) / salvageable "
+                            "(exit 1) / unrecoverable (exit 2)")
     check.add_argument("--reuse", default=VmReusePolicy.ALWAYS_FRESH.value,
                        choices=[policy.value for policy in VmReusePolicy],
                        help="VM reuse policy across files sharing a decoder")
@@ -237,6 +294,17 @@ def _add_reading_commands(commands) -> None:
         help="statically verify the archived decoder images without running them")
     analyze.add_argument("archive")
     analyze.set_defaults(handler=_cmd_analyze)
+
+    repair = commands.add_parser(
+        "repair",
+        help="rebuild a clean archive from a damaged one's salvageable members")
+    repair.add_argument("archive")
+    repair.add_argument("-o", "--output", default=None,
+                        help="path for the repaired archive (omit for a "
+                             "dry-run damage report)")
+    repair.add_argument("--json", action="store_true",
+                        help="emit the structured damage report as JSON")
+    repair.set_defaults(handler=_cmd_repair)
 
 
 def build_parser() -> argparse.ArgumentParser:

@@ -50,6 +50,9 @@ import time
 from repro.errors import VxaError
 
 #: Wire codes the server marks as worth retrying against the same endpoint.
+#: ``archive_damaged`` is deliberately absent: media damage is a property of
+#: the bytes on disk, so re-sending the request can only burn the server's
+#: admission budget without ever succeeding.
 RETRYABLE_CODES = frozenset({"overloaded", "quota_exceeded", "circuit_open"})
 
 DEFAULT_TIMEOUT = 60.0

@@ -63,7 +63,9 @@ class IntegrityReport:
     COUNTER_FIELDS = ("vm_initialisations", "vm_reuses",
                       "fragments_translated", "cache_hits",
                       "chained_branches", "retranslations", "evictions",
-                      "guards_elided", "images_verified")
+                      "guards_elided", "images_verified",
+                      "members_salvaged", "directory_reconstructed",
+                      "commit_record_verified")
 
     checked: int = 0
     passed: int = 0
@@ -77,6 +79,9 @@ class IntegrityReport:
     evictions: int = 0
     guards_elided: int = 0
     images_verified: int = 0
+    members_salvaged: int = 0
+    directory_reconstructed: int = 0
+    commit_record_verified: int = 0
 
     @property
     def ok(self) -> bool:

@@ -1,0 +1,39 @@
+"""Small filesystem durability helpers shared by the write and read paths.
+
+Crash consistency on POSIX needs three steps in order: flush+fsync the data
+file, atomically rename it into place, then fsync the *parent directory* so
+the rename itself is on stable storage.  These helpers keep that dance in
+one place; both the archive finalize path and ``extract_into`` use them.
+"""
+
+from __future__ import annotations
+
+import contextlib
+import os
+
+
+def fsync_file(file) -> None:
+    """Flush and fsync an open binary file object."""
+    file.flush()
+    os.fsync(file.fileno())
+
+
+def fsync_directory(path) -> None:
+    """fsync a directory so renames/creates inside it survive a crash.
+
+    Silently a no-op where directories cannot be opened or fsynced (some
+    filesystems and platforms); durability is then only as good as the OS
+    default, which is the best that can be done there.
+    """
+    try:
+        fd = os.open(os.fspath(path), os.O_RDONLY)
+    except OSError:
+        return
+    try:
+        with contextlib.suppress(OSError):
+            os.fsync(fd)
+    finally:
+        os.close(fd)
+
+
+__all__ = ["fsync_directory", "fsync_file"]

@@ -189,6 +189,15 @@ class DecoderMissingError(ArchiveError):
     """An archived file references a decoder that is not present."""
 
 
+class ArchiveDamagedError(ArchiveError):
+    """The archive media is damaged beyond what the caller allows.
+
+    Raised when opening a corrupt/torn archive under ``on_damage="reject"``,
+    or when repair finds nothing salvageable.  Not retryable: the bytes on
+    disk will not get better by asking again.
+    """
+
+
 class PathTraversalError(ArchiveError):
     """A member name would escape the extraction directory (zip-slip)."""
 

@@ -247,8 +247,22 @@ class FaultPlanError(VxaError):
     """A fault plan could not be parsed or applied."""
 
 
+from repro.faults.media import (  # noqa: E402  -- re-export after FaultPlanError
+    FAULT_FLIP_BYTES,
+    FAULT_TORN_FINALIZE,
+    FAULT_TRUNCATE_TAIL,
+    MEDIA_FAULT_KINDS,
+    TornFinalize,
+    apply_fault_to_file,
+    flip_bytes,
+    truncate_tail,
+)
+
 __all__ = [
     "DEFAULT_FUEL",
+    "FAULT_FLIP_BYTES",
+    "FAULT_TORN_FINALIZE",
+    "FAULT_TRUNCATE_TAIL",
     "FaultPlan",
     "FaultPlanError",
     "FaultSpec",
@@ -258,4 +272,9 @@ __all__ = [
     "KIND_EXHAUST_FUEL",
     "KIND_KILL_WORKER",
     "KIND_SYSCALL_ERROR",
+    "MEDIA_FAULT_KINDS",
+    "TornFinalize",
+    "apply_fault_to_file",
+    "flip_bytes",
+    "truncate_tail",
 ]

@@ -41,7 +41,8 @@ Responses echo the ``id``: ``{"id": 3, "ok": true, "result": {...}}`` on
 success, ``{"id": 3, "ok": false, "error": "...", "error_type": "..."}`` on
 failure; structured refusals additionally carry ``error_code`` (one of
 ``overloaded``/``quota_exceeded``/``circuit_open``/``draining``/
-``request_too_large``/``bad_json``) and, where retrying makes sense, a
+``request_too_large``/``bad_json``/``archive_damaged``) and, where retrying
+makes sense, a
 ``retry_after_seconds`` hint that :class:`repro.client.VxServeClient`
 honours.  A malformed line yields an error response rather than killing the
 service.  Entry point: the ``vxserve`` console script (or ``python -m
@@ -66,6 +67,12 @@ import repro.api as vxa
 from repro.api.options import EXECUTOR_AUTO
 from repro.api.session import SessionStats
 from repro.core.policy import VmReusePolicy
+from repro.errors import (
+    ArchiveDamagedError,
+    CodecError,
+    IntegrityError,
+    ZipFormatError,
+)
 from repro.faults import FaultPlan
 from repro.parallel.admission import (
     ANONYMOUS_CLIENT,
@@ -100,7 +107,7 @@ DEFAULT_MAX_REQUEST_BYTES = 1 << 20
 _OPTION_FIELDS = ("mode", "force_decode", "engine", "superblock_limit",
                   "chain_fragments", "chunk_size", "code_cache_limit",
                   "verify_images", "analysis_elision", "on_error", "retries",
-                  "member_deadline")
+                  "member_deadline", "on_damage", "durable_output")
 
 #: Ops that are bookkeeping, not archive work: always allowed, even while
 #: the service is draining, never counted as in-flight work, and never
@@ -240,6 +247,12 @@ class BatchService:
             response["ok"] = False
             response["error"] = str(error)
             response["error_type"] = type(error).__name__
+            if isinstance(error, (ArchiveDamagedError, CodecError,
+                                  IntegrityError, ZipFormatError)):
+                # Media damage is deterministic: the bytes on disk will not
+                # get better by retrying, so clients must not treat this
+                # like a transient refusal.
+                response["error_code"] = "archive_damaged"
         finally:
             if admission is not None:
                 self._retire(admission)

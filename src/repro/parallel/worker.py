@@ -106,7 +106,8 @@ def _options_key(options):
             options.superblock_limit, options.chain_fragments,
             options.code_cache_limit, options.verify_images,
             options.analysis_elision, options.on_error, options.retries,
-            options.member_deadline, repr(options.fault_plan), registry_key)
+            options.member_deadline, options.on_damage,
+            options.durable_output, repr(options.fault_plan), registry_key)
 
 
 def _acquire_archive(source: dict, options):

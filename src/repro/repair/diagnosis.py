@@ -1,0 +1,107 @@
+"""Minimal damage diagnosis: the smallest set of regions explaining the loss.
+
+FastDiag's framing (see PAPERS.md): when a system of constraints fails,
+report a *minimal* set of culprits, not every downstream symptom.  Applied
+to archive media: if one damaged decoder extent makes five members
+undecodable, the diagnosis is **one** region (the decoder extent) with five
+affected members -- not five independent damage reports.  Members whose own
+extents are damaged contribute their own regions; overlapping and adjacent
+regions merge.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.core.integrity import STATUS_INTACT, MediaAssessment
+
+
+@dataclass
+class DamageRegion:
+    """One contiguous damaged byte range and the members it takes down."""
+
+    start: int
+    end: int                      # exclusive
+    description: str
+    members: list[str] = field(default_factory=list)
+
+    @property
+    def size(self) -> int:
+        return self.end - self.start
+
+    def as_dict(self) -> dict:
+        return {
+            "start": self.start,
+            "end": self.end,
+            "size": self.size,
+            "description": self.description,
+            "members": list(self.members),
+        }
+
+
+def _merge(regions: list[DamageRegion]) -> list[DamageRegion]:
+    """Merge overlapping/adjacent regions, unioning members and descriptions."""
+    merged: list[DamageRegion] = []
+    for region in sorted(regions, key=lambda r: (r.start, r.end)):
+        if merged and region.start <= merged[-1].end:
+            last = merged[-1]
+            last.end = max(last.end, region.end)
+            if region.description not in last.description:
+                last.description = f"{last.description}; {region.description}"
+            for name in region.members:
+                if name not in last.members:
+                    last.members.append(name)
+        else:
+            merged.append(region)
+    return merged
+
+
+def minimal_diagnosis(assessment: MediaAssessment) -> list[DamageRegion]:
+    """The smallest set of damaged regions that explains every lost member.
+
+    Damaged decoder extents come first: every member that is only lost
+    *because* its decoder extent is damaged is attributed to the decoder's
+    region rather than given a region of its own.  Then members whose own
+    extents are damaged contribute theirs, and structural damage (torn
+    directory, missing tail) appears as a region at the end of the file
+    when nothing more precise is known.
+    """
+    regions: list[DamageRegion] = []
+    damaged_decoders = {offset for offset, verdict in assessment.decoders.items()
+                        if verdict.status != STATUS_INTACT}
+    for offset in sorted(damaged_decoders):
+        verdict = assessment.decoders[offset]
+        size = verdict.size if verdict.size else 1
+        dependents = [m.name for m in assessment.members
+                      if m.decoder_offset == offset
+                      and m.status != STATUS_INTACT]
+        regions.append(DamageRegion(
+            start=offset, end=offset + size,
+            description=f"decoder extent damaged ({verdict.reason or 'unverified'})",
+            members=dependents))
+    for verdict in assessment.members:
+        if verdict.status == STATUS_INTACT:
+            continue
+        if (verdict.decoder_offset in damaged_decoders
+                and verdict.reason == "decoder extent damaged"):
+            continue  # already explained by the decoder's region
+        if verdict.offset is None:
+            continue
+        size = verdict.size if verdict.size else 1
+        regions.append(DamageRegion(
+            start=verdict.offset, end=verdict.offset + size,
+            description=verdict.reason or f"member {verdict.name!r} damaged",
+            members=[verdict.name]))
+    if assessment.directory_status != "ok":
+        # The directory/EOCD lived at the end of the file; without the
+        # commit marker its exact extent is unknowable, so pin the region
+        # to the archive tail.
+        start = assessment.archive_size
+        regions.append(DamageRegion(
+            start=start, end=start,
+            description="central directory lost (reconstructed from local headers)",
+            members=[]))
+    return _merge(regions)
+
+
+__all__ = ["DamageRegion", "minimal_diagnosis"]

@@ -1,0 +1,263 @@
+"""Rebuild a clean archive from the salvageable part of a damaged one.
+
+The rebuild is byte-conservative where it matters: member *stored bytes*
+and decoder pseudo-file extents are copied verbatim (CRCs and sizes carried
+over, never recomputed from damaged data), VXA extension headers are
+rewritten only to point at the decoders' new offsets, and the output gets a
+fresh commit record plus the crash-consistent temp+fsync+rename finalize.
+Headers are re-packed, so header-level metadata the writer normalises
+(timestamps) is normalised again -- contents round-trip bit-for-bit, which
+is the durability property the paper cares about.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+import os
+import pathlib
+from dataclasses import dataclass, field
+
+from repro.core.extension import VXA_EXTRA_ID, parse_extension
+from repro.core.fsutil import fsync_directory, fsync_file
+from repro.core.integrity import (
+    STATUS_INTACT,
+    MediaAssessment,
+    assess_media,
+)
+from repro.errors import ArchiveDamagedError, ArchiveError, ZipFormatError
+from repro.repair.diagnosis import DamageRegion, minimal_diagnosis
+from repro.zipformat.reader import ZipReader
+from repro.zipformat.structures import (
+    pack_extra_fields,
+    read_local_header,
+    unpack_extra_fields,
+)
+from repro.zipformat.writer import ZipWriter
+
+#: Per-member repair actions.
+ACTION_COPIED = "copied"
+ACTION_COPIED_WITHOUT_DECODER = "copied-without-decoder"
+ACTION_DROPPED = "dropped"
+
+
+@dataclass
+class MemberAction:
+    """What the rebuild did with one member of the damaged archive."""
+
+    name: str
+    action: str
+    reason: str = ""
+
+    def as_dict(self) -> dict:
+        return {"name": self.name, "action": self.action, "reason": self.reason}
+
+
+@dataclass
+class RepairResult:
+    """Structured damage report + rebuild outcome of one repair run."""
+
+    assessment: MediaAssessment
+    regions: list[DamageRegion] = field(default_factory=list)
+    actions: list[MemberAction] = field(default_factory=list)
+    output_path: pathlib.Path | None = None
+    rebuilt: bool = False
+
+    @property
+    def classification(self) -> str:
+        return self.assessment.classification()
+
+    @property
+    def exit_code(self) -> int:
+        return self.assessment.exit_code()
+
+    @property
+    def copied(self) -> list[str]:
+        return [a.name for a in self.actions if a.action != ACTION_DROPPED]
+
+    @property
+    def dropped(self) -> list[str]:
+        return [a.name for a in self.actions if a.action == ACTION_DROPPED]
+
+    def as_dict(self) -> dict:
+        return {
+            "classification": self.classification,
+            "exit_code": self.exit_code,
+            "rebuilt": self.rebuilt,
+            "output_path": (str(self.output_path)
+                            if self.output_path is not None else None),
+            "regions": [region.as_dict() for region in self.regions],
+            "actions": [action.as_dict() for action in self.actions],
+            "assessment": self.assessment.as_dict(),
+        }
+
+
+def _read_source_bytes(source) -> bytes:
+    if isinstance(source, (bytes, bytearray, memoryview)):
+        return bytes(source)
+    return pathlib.Path(source).read_bytes()
+
+
+def _rewrite_extra(extra: bytes, new_offset: int | None, *,
+                   drop_decoder: bool = False) -> bytes:
+    """Re-point (or drop) the VXA extension inside an extra-field block."""
+    out = b""
+    for item in unpack_extra_fields(extra):
+        if item.header_id == VXA_EXTRA_ID:
+            if drop_decoder:
+                continue
+            extension = parse_extension(extra)
+            out += dataclasses.replace(
+                extension, decoder_offset=new_offset).pack()
+        else:
+            out += pack_extra_fields([item])
+    return out
+
+
+def repair_archive(source, output_path=None, *, comment: bytes | None = None
+                   ) -> RepairResult:
+    """Rebuild a clean archive from whatever ``source`` still holds intact.
+
+    ``source`` is a damaged archive (path or bytes); ``output_path`` is
+    where the repaired archive lands (required to actually rebuild --
+    without it the call is a dry run returning only the damage report).
+    Every intact member is copied with byte-identical stored contents,
+    referenced decoders ride along (re-offset), damaged members and
+    decoders are dropped and reported.  The output is finalized with a
+    fresh commit record via the crash-consistent temp+rename sequence, and
+    is verified clean before the temp is renamed into place.
+
+    Raises :class:`~repro.errors.ArchiveDamagedError` when nothing is
+    salvageable and an output was requested.
+    """
+    data = _read_source_bytes(source)
+    assessment = assess_media(data)
+    result = RepairResult(assessment=assessment,
+                          regions=minimal_diagnosis(assessment))
+    classification = assessment.classification()
+
+    try:
+        reader = ZipReader(data, salvage=True)
+    except ZipFormatError as error:
+        if output_path is not None:
+            raise ArchiveDamagedError(
+                f"nothing salvageable: archive is unreadable ({error})"
+            ) from error
+        return result
+
+    entries_by_offset = {entry.local_header_offset: entry
+                         for entry in reader.entries}
+    decoder_ok = {offset: verdict.status == STATUS_INTACT
+                  for offset, verdict in assessment.decoders.items()}
+
+    # -- plan per-member actions ---------------------------------------------------
+    plan: list[tuple] = []          # (entry, new_extra_fn, action)
+    for verdict in assessment.members:
+        if verdict.status != STATUS_INTACT:
+            result.actions.append(MemberAction(
+                name=verdict.name, action=ACTION_DROPPED,
+                reason=verdict.reason or verdict.status))
+            continue
+        entry = entries_by_offset.get(verdict.offset)
+        if entry is None:
+            result.actions.append(MemberAction(
+                name=verdict.name, action=ACTION_DROPPED,
+                reason="extent not found by salvage scan"))
+            continue
+        try:
+            extension = parse_extension(entry.extra)
+        except ArchiveError:
+            extension = None
+        if extension is not None and not decoder_ok.get(
+                extension.decoder_offset, False):
+            # Intact stored bytes whose decoder is gone: only useful when
+            # the stored form *is* the original file (the redec path).
+            if extension.precompressed:
+                plan.append((entry, None, ACTION_COPIED_WITHOUT_DECODER))
+            else:
+                result.actions.append(MemberAction(
+                    name=verdict.name, action=ACTION_DROPPED,
+                    reason="decoder extent damaged"))
+            continue
+        plan.append((entry,
+                     extension.decoder_offset if extension is not None else None,
+                     ACTION_COPIED))
+
+    if output_path is None:
+        for entry, _, action in plan:
+            result.actions.append(MemberAction(name=entry.name, action=action))
+        return result
+
+    if not plan and classification != "clean":
+        raise ArchiveDamagedError(
+            "nothing salvageable: no member of the damaged archive is intact")
+
+    # -- rebuild -------------------------------------------------------------------
+    output_path = pathlib.Path(output_path)
+    temp_path = output_path.with_name(f"{output_path.name}.vxa-tmp.{os.getpid()}")
+    try:
+        with open(temp_path, "wb") as sink:
+            writer = ZipWriter(sink=sink)
+            decoder_moves: dict[int, int] = {}
+
+            def copy_decoder(old_offset: int) -> int:
+                moved = decoder_moves.get(old_offset)
+                if moved is None:
+                    pseudo, data_offset = read_local_header(
+                        reader.read_extent, old_offset)
+                    payload = reader.read_extent(data_offset,
+                                                 pseudo.compressed_size)
+                    moved = writer.add_member(
+                        "", payload, method=pseudo.method,
+                        uncompressed_size=pseudo.uncompressed_size,
+                        crc=pseudo.crc32,
+                        in_central_directory=False).local_header_offset
+                    decoder_moves[old_offset] = moved
+                return moved
+
+            for entry, decoder_offset, action in plan:
+                if action == ACTION_COPIED_WITHOUT_DECODER:
+                    extra = _rewrite_extra(entry.extra, None, drop_decoder=True)
+                elif decoder_offset is not None:
+                    extra = _rewrite_extra(entry.extra,
+                                           copy_decoder(decoder_offset))
+                else:
+                    extra = entry.extra
+                stored = reader.read_stored_bytes(entry)
+                writer.add_member(
+                    entry.name, stored, method=entry.method,
+                    uncompressed_size=entry.uncompressed_size,
+                    crc=entry.crc32, extra=extra, comment=entry.comment,
+                    external_attributes=entry.external_attributes)
+                result.actions.append(MemberAction(name=entry.name,
+                                                   action=action))
+            writer.finish(comment if comment is not None else reader.comment,
+                          commit=True)
+            fsync_file(sink)
+        # The repaired archive must itself assess clean before it replaces
+        # anything -- a repair that produces damaged output is a bug, not
+        # a result.
+        verify = assess_media(temp_path.read_bytes())
+        if verify.classification() != "clean":
+            raise ArchiveDamagedError(
+                "rebuilt archive failed its own media assessment: "
+                + "; ".join(verify.damage
+                            or [m.reason for m in verify.damaged_members])
+            )
+        os.replace(temp_path, output_path)
+        fsync_directory(output_path.parent)
+    except BaseException:
+        temp_path.unlink(missing_ok=True)
+        raise
+    result.output_path = output_path
+    result.rebuilt = True
+    return result
+
+
+__all__ = [
+    "ACTION_COPIED",
+    "ACTION_COPIED_WITHOUT_DECODER",
+    "ACTION_DROPPED",
+    "MemberAction",
+    "RepairResult",
+    "repair_archive",
+]

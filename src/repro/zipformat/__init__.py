@@ -1,5 +1,14 @@
 """From-scratch ZIP container: the substrate vxZIP builds on."""
 
+from repro.zipformat.commit import (
+    CommitMarker,
+    DigestTable,
+    ExtentDigest,
+    MARKER_SIZE,
+    find_marker_in_tail,
+    parse_marker,
+    split_comment,
+)
 from repro.zipformat.crc import StreamingCrc32, crc32
 from repro.zipformat.reader import ByteSource, DEFAULT_CHUNK_SIZE, ZipReader
 from repro.zipformat.structures import (
@@ -15,6 +24,13 @@ from repro.zipformat.structures import (
 from repro.zipformat.writer import ZipWriter, deflate_compress, deflate_decompress
 
 __all__ = [
+    "CommitMarker",
+    "DigestTable",
+    "ExtentDigest",
+    "MARKER_SIZE",
+    "find_marker_in_tail",
+    "parse_marker",
+    "split_comment",
     "StreamingCrc32",
     "crc32",
     "ByteSource",

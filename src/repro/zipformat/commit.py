@@ -1,0 +1,217 @@
+"""End-of-archive commit records: crash-consistent, corruption-evident finalize.
+
+The paper's premise is that an archive must outlive the software and the
+hardware that wrote it, yet a single torn write or flipped byte in the
+central directory makes every member unreachable to a naive reader.  This
+module defines the two on-media structures that close that gap:
+
+* a **digest table** -- one hidden pseudo-file (empty name, absent from the
+  central directory, stored uncompressed) holding the SHA-256 of every
+  member extent written so far, members and decoder pseudo-files alike.
+  Each digest covers the full extent: local header, name, extra field and
+  stored payload, so header corruption is as detectable as payload bitrot;
+
+* a **commit marker** -- a fixed-size trailer appended to the ZIP
+  end-of-central-directory comment, carrying the offset/size/SHA-256 of
+  both the central directory and the digest table, protected by its own
+  CRC.  Writing it is the *last* thing ``finish()`` does, so its presence
+  and integrity distinguish a committed archive from a torn one.
+
+Both ride inside standard ZIP structures: unmodified ZIP tools list and
+extract these archives exactly as before (the marker is comment bytes to
+them, the table is one more invisible pseudo-file).  A reader that *does*
+understand them gets, for free: torn-finalize detection, an authoritative
+central-directory checksum, and a per-extent bitrot oracle that needs no
+decoder runs -- the substrate :mod:`repro.repair` builds on.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import struct
+from dataclasses import dataclass, field
+
+from repro.errors import ZipFormatError
+from repro.zipformat.crc import crc32
+
+#: First bytes of the digest-table pseudo-file payload.
+DIGEST_TABLE_MAGIC = b"VXDT"
+
+#: First bytes of the commit marker inside the EOCD comment.
+COMMIT_MARKER_MAGIC = b"VXC1"
+
+_MARKER_VERSION = 1
+_TABLE_VERSION = 1
+
+# magic + version + dir(offset,size) + dir sha + table(offset,size) + table sha + crc
+_MARKER_FIXED = struct.Struct("<4sBQQ32sQQ32s")
+_MARKER_CRC = struct.Struct("<I")
+MARKER_SIZE = _MARKER_FIXED.size + _MARKER_CRC.size
+
+_TABLE_HEADER = struct.Struct("<4sBI")
+_TABLE_ENTRY = struct.Struct("<BQQ32sH")
+
+#: Extent kinds recorded in the digest table.
+KIND_MEMBER = 0          # listed in the central directory
+KIND_PSEUDO = 1          # hidden pseudo-file (decoder image, ...)
+
+
+def sha256(data: bytes) -> bytes:
+    return hashlib.sha256(data).digest()
+
+
+@dataclass(frozen=True)
+class ExtentDigest:
+    """The recorded identity of one archive extent (header through payload)."""
+
+    kind: int
+    offset: int
+    size: int
+    digest: bytes
+    name: str = ""
+
+    @property
+    def end(self) -> int:
+        return self.offset + self.size
+
+
+@dataclass(frozen=True)
+class CommitMarker:
+    """Parsed contents of the trailing commit marker."""
+
+    directory_offset: int
+    directory_size: int
+    directory_sha256: bytes
+    table_offset: int
+    table_size: int
+    table_sha256: bytes
+
+    def pack(self) -> bytes:
+        body = _MARKER_FIXED.pack(
+            COMMIT_MARKER_MAGIC,
+            _MARKER_VERSION,
+            self.directory_offset,
+            self.directory_size,
+            self.directory_sha256,
+            self.table_offset,
+            self.table_size,
+            self.table_sha256,
+        )
+        return body + _MARKER_CRC.pack(crc32(body))
+
+
+def parse_marker(blob: bytes) -> CommitMarker | None:
+    """Parse one commit marker from exactly ``MARKER_SIZE`` bytes.
+
+    Returns ``None`` -- never raises -- when the bytes are not a marker or
+    the marker's own CRC fails: a corrupted marker means "not committed",
+    which downstream treats exactly like a torn finalize.
+    """
+    if len(blob) != MARKER_SIZE or not blob.startswith(COMMIT_MARKER_MAGIC):
+        return None
+    body, crc_bytes = blob[:_MARKER_FIXED.size], blob[_MARKER_FIXED.size:]
+    (recorded,) = _MARKER_CRC.unpack(crc_bytes)
+    if crc32(body) != recorded:
+        return None
+    (_, version, dir_offset, dir_size, dir_sha,
+     table_offset, table_size, table_sha) = _MARKER_FIXED.unpack(body)
+    if version != _MARKER_VERSION:
+        return None
+    return CommitMarker(
+        directory_offset=dir_offset,
+        directory_size=dir_size,
+        directory_sha256=dir_sha,
+        table_offset=table_offset,
+        table_size=table_size,
+        table_sha256=table_sha,
+    )
+
+
+def split_comment(comment: bytes) -> tuple[bytes, CommitMarker | None]:
+    """Separate a user comment from the commit marker appended to it.
+
+    Archives written without a commit record (or by other tools) return
+    ``(comment, None)`` unchanged.
+    """
+    if len(comment) >= MARKER_SIZE:
+        marker = parse_marker(comment[-MARKER_SIZE:])
+        if marker is not None:
+            return comment[:-MARKER_SIZE], marker
+    return comment, None
+
+
+def find_marker_in_tail(tail: bytes) -> CommitMarker | None:
+    """Scan raw archive tail bytes for a commit marker.
+
+    The damage-recovery path uses this when the EOCD itself is unreadable
+    (so the comment cannot be located the normal way): the marker's magic,
+    fixed size and CRC make it safely recognisable in loose bytes.  The
+    scan runs backwards so the *last* committed state wins.
+    """
+    position = tail.rfind(COMMIT_MARKER_MAGIC)
+    while position >= 0:
+        marker = parse_marker(tail[position:position + MARKER_SIZE])
+        if marker is not None:
+            return marker
+        position = tail.rfind(COMMIT_MARKER_MAGIC, 0, position)
+    return None
+
+
+@dataclass
+class DigestTable:
+    """The per-extent digest table stored as a hidden pseudo-file."""
+
+    extents: list[ExtentDigest] = field(default_factory=list)
+
+    def pack(self) -> bytes:
+        blob = bytearray(_TABLE_HEADER.pack(DIGEST_TABLE_MAGIC, _TABLE_VERSION,
+                                            len(self.extents)))
+        for extent in self.extents:
+            name_bytes = extent.name.encode("utf-8")
+            blob += _TABLE_ENTRY.pack(extent.kind, extent.offset, extent.size,
+                                      extent.digest, len(name_bytes))
+            blob += name_bytes
+        return bytes(blob)
+
+    @classmethod
+    def parse(cls, blob: bytes) -> "DigestTable":
+        if len(blob) < _TABLE_HEADER.size or not blob.startswith(DIGEST_TABLE_MAGIC):
+            raise ZipFormatError("digest table payload is malformed")
+        _, version, count = _TABLE_HEADER.unpack_from(blob, 0)
+        if version != _TABLE_VERSION:
+            raise ZipFormatError(f"unsupported digest table version {version}")
+        extents: list[ExtentDigest] = []
+        offset = _TABLE_HEADER.size
+        for _ in range(count):
+            if offset + _TABLE_ENTRY.size > len(blob):
+                raise ZipFormatError("digest table is truncated")
+            kind, ext_offset, size, digest, name_length = _TABLE_ENTRY.unpack_from(
+                blob, offset)
+            offset += _TABLE_ENTRY.size
+            name = blob[offset:offset + name_length]
+            if len(name) < name_length:
+                raise ZipFormatError("digest table name is truncated")
+            offset += name_length
+            extents.append(ExtentDigest(kind=kind, offset=ext_offset, size=size,
+                                        digest=digest,
+                                        name=name.decode("utf-8", "replace")))
+        return cls(extents=extents)
+
+    def by_offset(self) -> dict[int, ExtentDigest]:
+        return {extent.offset: extent for extent in self.extents}
+
+
+__all__ = [
+    "COMMIT_MARKER_MAGIC",
+    "CommitMarker",
+    "DIGEST_TABLE_MAGIC",
+    "DigestTable",
+    "ExtentDigest",
+    "KIND_MEMBER",
+    "KIND_PSEUDO",
+    "MARKER_SIZE",
+    "find_marker_in_tail",
+    "parse_marker",
+    "sha256",
+    "split_comment",
+]

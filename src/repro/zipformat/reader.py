@@ -16,10 +16,19 @@ import zlib
 from typing import Iterator
 
 from repro.errors import ZipFormatError
+from repro.zipformat.commit import (
+    CommitMarker,
+    DigestTable,
+    find_marker_in_tail,
+    sha256,
+    split_comment,
+)
 from repro.zipformat.crc import StreamingCrc32, crc32
 from repro.zipformat.structures import (
+    CENTRAL_HEADER_SIGNATURE,
     EOCD_MAX_SCAN,
     EOCD_SIGNATURE,
+    LOCAL_HEADER_SIGNATURE,
     METHOD_DEFLATE,
     METHOD_STORE,
     METHOD_VXA,
@@ -27,6 +36,7 @@ from repro.zipformat.structures import (
     parse_eocd,
     read_local_header,
     unpack_central_header,
+    unpack_local_header,
 )
 from repro.zipformat.writer import deflate_decompress
 
@@ -98,29 +108,177 @@ class ZipReader:
     that use them) via :meth:`read_member_at`.
     """
 
-    def __init__(self, source):
+    def __init__(self, source, *, salvage: bool = False):
         if isinstance(source, (bytes, bytearray, memoryview)):
             source = io.BytesIO(bytes(source))
         self._source = ByteSource(source)
-        entry_count, directory_size, directory_offset, comment = self._locate_eocd()
+        self.comment = b""
+        self.entries: list[ZipEntry] = []
+        #: Pseudo-file entries discovered by a salvage scan (empty otherwise).
+        self.pseudo_entries: list[ZipEntry] = []
+        self.commit_marker: CommitMarker | None = None
+        #: True when the central directory's SHA-256 matched the commit marker.
+        self.commit_verified = False
+        self.digest_table: DigestTable | None = None
+        #: True when the directory was rebuilt by scanning local headers.
+        self.directory_reconstructed = False
+        self.directory_offset: int | None = None
+        self.directory_size: int | None = None
+        #: Human-readable notes about damage encountered while opening.
+        self.damage: list[str] = []
+        try:
+            self._open_via_directory(salvage=salvage)
+        except ZipFormatError:
+            if not salvage:
+                raise
+            self._open_via_scan()
+        self._load_digest_table()
+
+    # -- opening -----------------------------------------------------------------------
+
+    def _open_via_directory(self, *, salvage: bool) -> None:
+        entry_count, directory_size, directory_offset, raw_comment = self._locate_eocd()
         if directory_offset + directory_size > self._source.size:
             raise ZipFormatError("central directory extends past end of archive")
-        self.comment = comment
-        self.entries: list[ZipEntry] = []
+        self.comment, self.commit_marker = split_comment(raw_comment)
         directory = self._source.read_at(directory_offset, directory_size)
+        if len(directory) < directory_size:
+            raise ZipFormatError("central directory is truncated")
+        if self.commit_marker is not None:
+            if sha256(directory) == self.commit_marker.directory_sha256:
+                self.commit_verified = True
+            else:
+                # The archive *claims* a committed state the directory bytes
+                # contradict -- directory bitrot.  The directory may still
+                # parse into plausible-looking garbage, so never trust it.
+                raise ZipFormatError(
+                    "central directory does not match the archive commit record"
+                )
+        entries: list[ZipEntry] = []
         offset = 0
         for _ in range(entry_count):
             entry, offset = unpack_central_header(directory, offset)
-            self.entries.append(entry)
+            entries.append(entry)
+        self.entries = entries
+        self.directory_offset = directory_offset
+        self.directory_size = directory_size
 
     def _locate_eocd(self):
+        """Find and parse the EOCD, scanning every candidate signature.
+
+        The last ``PK\\x05\\x06`` in the tail is not necessarily the real
+        record: comments and trailing junk can contain the byte pattern, and
+        truncation can clip the genuine record.  Candidates are tried from
+        the end backwards; one wins only if it parses cleanly and its
+        directory bounds fit below it in the file.
+        """
         size = self._source.size
         scan = min(size, EOCD_MAX_SCAN)
-        tail = self._source.read_at(size - scan, scan)
+        base = size - scan
+        tail = self._source.read_at(base, scan)
         position = tail.rfind(EOCD_SIGNATURE)
-        if position < 0:
-            raise ZipFormatError("end of central directory record not found")
-        return parse_eocd(tail, position)
+        first_error: ZipFormatError | None = None
+        while position >= 0:
+            try:
+                parsed = parse_eocd(tail, position)
+            except ZipFormatError as error:
+                if first_error is None:
+                    first_error = error
+            else:
+                _, directory_size, directory_offset, _ = parsed
+                if directory_offset + directory_size <= base + position:
+                    return parsed
+                if first_error is None:
+                    first_error = ZipFormatError(
+                        "end of central directory record points outside the archive"
+                    )
+            position = tail.rfind(EOCD_SIGNATURE, 0, position)
+        if first_error is not None:
+            raise first_error
+        raise ZipFormatError("end of central directory record not found")
+
+    def _open_via_scan(self) -> None:
+        """Reconstruct the member list by scanning local headers from offset 0.
+
+        This is the damage-tolerant path: the central directory and EOCD are
+        treated as lost, every parseable local-header extent is recovered
+        (named members into :attr:`entries`, decoder pseudo-files into
+        :attr:`pseudo_entries`), and corrupt stretches are skipped by
+        resynchronising on the next record signature.
+        """
+        self.directory_reconstructed = True
+        self.entries = []
+        self.pseudo_entries = []
+        self.directory_offset = None
+        self.directory_size = None
+        size = self._source.size
+        if self.commit_marker is None:
+            scan = min(size, EOCD_MAX_SCAN)
+            tail = self._source.read_at(size - scan, scan)
+            self.commit_marker = find_marker_in_tail(tail)
+        offset = 0
+        while offset + len(LOCAL_HEADER_SIGNATURE) <= size:
+            signature = self._source.read_at(offset, 4)
+            if signature in (CENTRAL_HEADER_SIGNATURE, EOCD_SIGNATURE):
+                break
+            if signature != LOCAL_HEADER_SIGNATURE:
+                self.damage.append(f"unrecognised bytes at offset {offset}")
+                offset = self._next_signature(offset + 1)
+                continue
+            try:
+                entry, data_offset = read_local_header(self._source.read_at, offset)
+                end = data_offset + entry.compressed_size
+                if end > size:
+                    raise ZipFormatError(
+                        f"member extent at offset {offset} extends past end of archive"
+                    )
+            except ZipFormatError:
+                self.damage.append(f"unparseable local header at offset {offset}")
+                offset = self._next_signature(offset + 1)
+                continue
+            if entry.name:
+                entry.in_central_directory = True
+                self.entries.append(entry)
+            else:
+                entry.in_central_directory = False
+                self.pseudo_entries.append(entry)
+            offset = end
+
+    def _next_signature(self, start: int) -> int:
+        """Resynchronise: offset of the next record signature at/after ``start``."""
+        signatures = (LOCAL_HEADER_SIGNATURE, CENTRAL_HEADER_SIGNATURE,
+                      EOCD_SIGNATURE)
+        size = self._source.size
+        position = start
+        overlap = 3
+        while position < size:
+            block = self._source.read_at(position, DEFAULT_CHUNK_SIZE + overlap)
+            best = -1
+            for signature in signatures:
+                found = block.find(signature)
+                if found >= 0 and (best < 0 or found < best):
+                    best = found
+            if best >= 0:
+                return position + best
+            if len(block) < DEFAULT_CHUNK_SIZE + overlap:
+                break
+            position += DEFAULT_CHUNK_SIZE
+        return size
+
+    def _load_digest_table(self) -> None:
+        marker = self.commit_marker
+        if marker is None:
+            return
+        extent = self._source.read_at(marker.table_offset, marker.table_size)
+        if len(extent) != marker.table_size or sha256(extent) != marker.table_sha256:
+            self.damage.append("digest table extent is damaged")
+            return
+        try:
+            entry, data_offset = unpack_local_header(extent, 0)
+            payload = extent[data_offset:data_offset + entry.compressed_size]
+            self.digest_table = DigestTable.parse(payload)
+        except ZipFormatError as error:
+            self.damage.append(f"digest table is unreadable: {error}")
 
     # -- lookup ------------------------------------------------------------------------
 
@@ -233,3 +391,18 @@ class ZipReader:
         if verify_crc and crc32(data) != entry.crc32:
             raise ZipFormatError(f"CRC mismatch for pseudo-file at offset {offset}")
         return entry, data
+
+    def read_extent(self, offset: int, size: int) -> bytes:
+        """Read raw archive bytes (for digest-table verification and repair)."""
+        return self._source.read_at(offset, size)
+
+    def member_extent(self, entry: ZipEntry) -> tuple[int, int]:
+        """Full extent of a member: ``(local_header_offset, total_size)``."""
+        _, data_offset = read_local_header(self._source.read_at,
+                                           entry.local_header_offset)
+        size = data_offset - entry.local_header_offset + entry.compressed_size
+        return entry.local_header_offset, size
+
+    @property
+    def source_size(self) -> int:
+        return self._source.size

@@ -166,6 +166,8 @@ def unpack_central_header(data: bytes, offset: int):
 
     if data[offset : offset + 4] != CENTRAL_HEADER_SIGNATURE:
         raise ZipFormatError(f"no central directory record at offset {offset}")
+    if offset + _CENTRAL_HEADER.size > len(data):
+        raise ZipFormatError("central directory record extends past end of archive")
     fields = _CENTRAL_HEADER.unpack_from(data, offset)
     (_, _, _, flags, method, dos_time, dos_date, crc, compressed_size,
      uncompressed_size, name_length, extra_length, comment_length,
@@ -217,15 +219,32 @@ def parse_eocd(buffer: bytes, position: int):
     """Parse an EOCD record at ``position`` inside ``buffer``.
 
     Returns ``(entry_count, directory_size, directory_offset, comment)``.
+    Raises :class:`~repro.errors.ZipFormatError` (never ``struct.error``)
+    when the record is truncated or its comment length lies about the tail.
     """
+    from repro.errors import ZipFormatError
+
+    if position < 0 or position + _EOCD.size > len(buffer):
+        raise ZipFormatError("end of central directory record is truncated")
     fields = _EOCD.unpack_from(buffer, position)
     (_, _, _, entry_count, _, directory_size, directory_offset, comment_length) = fields
-    comment = buffer[position + _EOCD.size : position + _EOCD.size + comment_length]
+    comment_end = position + _EOCD.size + comment_length
+    if comment_end > len(buffer):
+        raise ZipFormatError(
+            "end of central directory comment extends past end of archive"
+        )
+    comment = buffer[position + _EOCD.size : comment_end]
     return entry_count, directory_size, directory_offset, comment
 
 
 def find_eocd(data: bytes):
     """Locate and parse the end-of-central-directory record.
+
+    Scans backwards through *every* candidate signature in the tail window
+    rather than trusting the last one: a ``PK\\x05\\x06`` byte pattern inside
+    an archive comment (or in trailing junk appended after the archive) must
+    not shadow the real record.  A candidate only wins if it parses cleanly
+    and its directory offset/size fit inside the file.
 
     Returns ``(entry_count, directory_size, directory_offset, comment)``.
     """
@@ -233,9 +252,25 @@ def find_eocd(data: bytes):
 
     search_start = max(0, len(data) - EOCD_MAX_SCAN)
     position = data.rfind(EOCD_SIGNATURE, search_start)
-    if position < 0:
-        raise ZipFormatError("end of central directory record not found")
-    return parse_eocd(data, position)
+    first_error: ZipFormatError | None = None
+    while position >= 0:
+        try:
+            parsed = parse_eocd(data, position)
+        except ZipFormatError as error:
+            if first_error is None:
+                first_error = error
+        else:
+            _, directory_size, directory_offset, _ = parsed
+            if directory_offset + directory_size <= position <= len(data):
+                return parsed
+            if first_error is None:
+                first_error = ZipFormatError(
+                    "end of central directory record points outside the archive"
+                )
+        position = data.rfind(EOCD_SIGNATURE, search_start, position)
+    if first_error is not None:
+        raise first_error
+    raise ZipFormatError("end of central directory record not found")
 
 
 @dataclass

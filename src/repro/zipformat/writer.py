@@ -6,6 +6,15 @@ import io
 import zlib
 
 from repro.errors import ZipFormatError
+from repro.zipformat.commit import (
+    KIND_MEMBER,
+    KIND_PSEUDO,
+    MARKER_SIZE,
+    CommitMarker,
+    DigestTable,
+    ExtentDigest,
+    sha256,
+)
 from repro.zipformat.crc import crc32
 from repro.zipformat.structures import (
     METHOD_DEFLATE,
@@ -15,6 +24,10 @@ from repro.zipformat.structures import (
     pack_eocd,
     pack_local_header,
 )
+
+#: Largest user comment a committed archive can carry: the ZIP comment field
+#: is 16-bit, and the commit marker rides in its final ``MARKER_SIZE`` bytes.
+MAX_COMMITTED_COMMENT = 0xFFFF - MARKER_SIZE
 
 
 def deflate_compress(data: bytes, level: int = 9) -> bytes:
@@ -60,6 +73,7 @@ class ZipWriter:
         self._sink = io.BytesIO() if sink is None else sink
         self._offset = 0
         self._entries: list[ZipEntry] = []
+        self._digests: list[ExtentDigest] = []
         self._finished = False
 
     def _write(self, blob: bytes) -> None:
@@ -109,9 +123,19 @@ class ZipWriter:
             in_central_directory=in_central_directory,
             external_attributes=external_attributes,
         )
-        self._write(pack_local_header(entry))
+        header = pack_local_header(entry)
+        self._write(header)
         self._write(payload)
         self._entries.append(entry)
+        # Digest the whole extent (header + name + extra + payload) so that
+        # header corruption is as detectable later as payload bitrot.
+        self._digests.append(ExtentDigest(
+            kind=KIND_MEMBER if in_central_directory else KIND_PSEUDO,
+            offset=entry.local_header_offset,
+            size=len(header) + len(payload),
+            digest=sha256(header + payload),
+            name=name,
+        ))
         return entry
 
     def add_deflate_member(self, name: str, data: bytes, **kwargs) -> ZipEntry:
@@ -155,21 +179,56 @@ class ZipWriter:
         """Bytes written so far (the archive size once finished)."""
         return self._offset
 
-    def finish(self, comment: bytes = b""):
+    def finish(self, comment: bytes = b"", *, commit: bool = False):
         """Write the central directory and EOCD.
+
+        With ``commit=True`` a per-extent digest table is first written as a
+        hidden pseudo-file and a commit marker is appended to the EOCD
+        comment -- see :mod:`repro.zipformat.commit`.  Plain ZIP readers see
+        both as inert bytes; commit-aware readers get torn-write detection
+        and a bitrot oracle.
 
         Returns the archive bytes when the writer owns its buffer, ``None``
         when writing to a caller-supplied sink.
         """
         if self._finished:
             raise ZipFormatError("archive already finalised")
+        marker_suffix = b""
+        if commit:
+            if len(comment) > MAX_COMMITTED_COMMENT:
+                raise ZipFormatError(
+                    f"comment of {len(comment)} bytes leaves no room for the "
+                    f"commit marker (max {MAX_COMMITTED_COMMENT})"
+                )
+            table_blob = DigestTable(extents=list(self._digests)).pack()
+            # Stored uncompressed: the table must stay readable even when
+            # nothing else in the archive is.
+            table_entry = self.add_member("", table_blob, in_central_directory=False)
+            table_extent = self._digests.pop()  # the table does not digest itself
+            table_offset = table_entry.local_header_offset
+            table_size = table_extent.size
+            table_sha = table_extent.digest  # covers the full extent, like all rows
         directory = bytearray()
         listed = [entry for entry in self._entries if entry.in_central_directory]
         for entry in listed:
             directory += pack_central_header(entry)
         directory_offset = self._offset
+        # Recorded for callers that need the directory's extent after the
+        # fact (the torn-finalize fault injector tears inside it).
+        self.directory_offset = directory_offset
+        self.directory_size = len(directory)
         self._write(bytes(directory))
-        self._write(pack_eocd(len(listed), len(directory), directory_offset, comment))
+        if commit:
+            marker_suffix = CommitMarker(
+                directory_offset=directory_offset,
+                directory_size=len(directory),
+                directory_sha256=sha256(bytes(directory)),
+                table_offset=table_offset,
+                table_size=table_size,
+                table_sha256=table_sha,
+            ).pack()
+        self._write(pack_eocd(len(listed), len(directory), directory_offset,
+                              comment + marker_suffix))
         self._finished = True
         if self._owns_sink:
             return self._sink.getvalue()

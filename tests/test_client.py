@@ -324,3 +324,23 @@ def test_vxquery_cli_reports_structured_failure(capsys, tmp_path):
     assert code == 1
     detail = json.loads(capsys.readouterr().err)
     assert "error" in detail
+
+
+def test_archive_damaged_is_final_not_retried(make_server):
+    """Media damage is deterministic; the client must not burn retries on it."""
+    from repro.client import RETRYABLE_CODES
+
+    assert "archive_damaged" not in RETRYABLE_CODES
+    server = make_server([
+        {"ok": False, "error": "central directory does not match the "
+                               "archive commit record",
+         "error_type": "ZipFormatError", "error_code": "archive_damaged"},
+    ])
+    sleeps: list[float] = []
+    with make_client(server, sleep=sleeps.append) as client:
+        with pytest.raises(VxServeError) as caught:
+            client.extract("/tmp/damaged.vxa", "/tmp/out")
+    assert caught.value.code == "archive_damaged"
+    assert caught.value.attempts == 1       # exactly one round trip
+    assert sleeps == []                     # and no backoff
+    assert len(server.requests) == 1

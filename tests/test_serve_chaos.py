@@ -457,3 +457,73 @@ def test_oversized_line_without_newline_then_eof(serve):
     assert response["error_code"] == "request_too_large"
     # The service is still fully alive for the next client.
     assert one_shot(socket_path, {"op": "ping"})["ok"]
+
+
+# -- media damage over the socket -------------------------------------------------
+
+
+def test_damaged_archive_yields_structured_failures_not_crashes(
+        tmp_path, serve, archive_path, members):
+    """A damaged archive never kills a worker or wedges the service.
+
+    Salvage mode returns per-member structured failures with the healthy
+    members extracted; reject mode returns ``error_code="archive_damaged"``
+    (which the client treats as final, not retryable).  Either way the
+    service keeps answering afterwards.
+    """
+    from repro.faults.media import flip_bytes
+    from repro.zipformat.reader import ZipReader
+
+    data = archive_path.read_bytes()
+    reader = ZipReader(data)
+    victim = next(entry for entry in reader.entries
+                  if entry.name == "chaos2.txt")
+    start, size = reader.member_extent(victim)
+    damaged = tmp_path / "damaged.zip"
+    damaged.write_bytes(flip_bytes(data, start + size - 16, 8, seed=5))
+
+    service, socket_path = serve(jobs=2)
+    dest = tmp_path / "salvage-out"
+    response = one_shot(socket_path, {
+        "id": 1, "op": "extract", "archive": str(damaged),
+        "dest": str(dest), "on_damage": "salvage",
+    })
+    assert response["ok"], response
+    assert [f["name"] for f in response["result"]["failures"]] == ["chaos2.txt"]
+    survivors = {r["name"] for r in response["result"]["records"]}
+    assert survivors == set(members) - {"chaos2.txt"}
+    for name in survivors:
+        assert (dest / name).read_bytes() == members[name]
+    assert response["result"]["stats"]["members_salvaged"] >= 1
+
+    rejected = one_shot(socket_path, {
+        "id": 2, "op": "extract", "archive": str(damaged),
+        "dest": str(tmp_path / "reject-out"),
+    })
+    assert not rejected["ok"]
+    assert rejected["error_code"] == "archive_damaged"
+
+    # The worker pool survived both; a clean archive still extracts.
+    after = one_shot(socket_path, {
+        "id": 3, "op": "extract", "archive": str(archive_path),
+        "dest": str(tmp_path / "after-out"),
+    })
+    assert after["ok"], after
+    assert not after["result"]["failures"]
+    _assert_extracted(tmp_path / "after-out", members)
+
+
+def test_torn_archive_rejected_with_archive_damaged_code(tmp_path, serve,
+                                                         archive_path):
+    from repro.faults.media import truncate_tail
+
+    torn = tmp_path / "torn.zip"
+    torn.write_bytes(truncate_tail(archive_path.read_bytes(), 200))
+    service, socket_path = serve(jobs=2)
+    response = one_shot(socket_path, {
+        "id": 1, "op": "extract", "archive": str(torn),
+        "dest": str(tmp_path / "out"),
+    })
+    assert not response["ok"]
+    assert response["error_code"] == "archive_damaged"
+    assert one_shot(socket_path, {"id": 2, "op": "ping"})["ok"]

@@ -182,3 +182,80 @@ def test_stdlib_zipfile_round_trip_into_our_reader():
     assert set(reader.names()) == {"alpha.txt", "beta/gamma.txt"}
     assert reader.read_member(reader.find("alpha.txt")) == b"alpha contents"
     assert reader.read_member(reader.find("beta/gamma.txt")) == b"gamma contents" * 200
+
+
+# -- EOCD location pinning ----------------------------------------------------------
+#
+# The backward scan for the end-of-central-directory record must survive
+# trailing junk and hostile comments, and every truncation must surface as
+# ZipFormatError -- never a raw struct.error leaking from the parser.
+
+
+def test_trailing_junk_after_eocd_tolerated():
+    archive = build_simple_archive()
+    reader = ZipReader(archive + b"\x00" * 40 + b"junk appended by a mirror")
+    assert reader.names() == ["readme.txt", "src/main.c"]
+    assert reader.read_member(reader.find("readme.txt")) == b"hello vxzip"
+
+
+def test_fake_eocd_signature_in_comment_ignored():
+    # A comment embedding the EOCD magic followed by garbage: the backward
+    # scan must reject the fake candidate (bad bounds) and keep looking.
+    fake = b"PK\x05\x06" + b"\xff" * 18
+    writer = ZipWriter()
+    writer.add_member("real.txt", b"real data", method=METHOD_STORE)
+    archive = writer.finish(b"prefix " + fake + b" suffix")
+    reader = ZipReader(archive)
+    assert reader.names() == ["real.txt"]
+    assert fake in reader.comment
+
+
+def test_comment_length_lie_rejected():
+    archive = bytearray(build_simple_archive())
+    # The comment length field is the last u16 before the comment bytes;
+    # inflate it so it claims more bytes than the file holds.
+    comment = b"test archive"
+    length_at = len(archive) - len(comment) - 2
+    archive[length_at:length_at + 2] = (len(comment) + 99).to_bytes(2, "little")
+    with pytest.raises(ZipFormatError):
+        ZipReader(bytes(archive))
+
+
+def test_every_truncation_raises_zipformaterror_not_struct_error():
+    archive = build_simple_archive()
+    for drop in range(1, 80):
+        truncated = archive[:-drop]
+        try:
+            reader = ZipReader(truncated)
+        except ZipFormatError:
+            continue                        # the only acceptable refusal
+        # An open that "succeeds" must have found a shorter-comment EOCD
+        # parse that is still internally consistent; members stay readable.
+        for entry in reader.entries:
+            reader.read_stored_bytes(entry)
+
+
+def test_salvage_scan_recovers_members_without_directory():
+    archive = build_simple_archive()
+    strict = ZipReader(archive)
+    torn = archive[:strict.directory_offset + 7]     # mid-directory tear
+    with pytest.raises(ZipFormatError):
+        ZipReader(torn)
+    salvaged = ZipReader(torn, salvage=True)
+    assert salvaged.directory_reconstructed
+    assert salvaged.names() == ["readme.txt", "src/main.c"]
+    assert salvaged.read_member(salvaged.find("readme.txt")) == b"hello vxzip"
+
+
+def test_commit_marker_round_trip_at_container_level():
+    writer = ZipWriter()
+    writer.add_member("a.txt", b"alpha", method=METHOD_STORE)
+    archive = writer.finish(b"note", commit=True)
+    reader = ZipReader(archive)
+    assert reader.commit_verified
+    assert reader.comment == b"note"
+    # Flipping one directory byte must break the committed-directory check.
+    damaged = bytearray(archive)
+    damaged[reader.directory_offset + 10] ^= 0x5A
+    with pytest.raises(ZipFormatError):
+        ZipReader(bytes(damaged))
